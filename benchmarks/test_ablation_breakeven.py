@@ -1,0 +1,85 @@
+"""Ablation — the break-even flow size.
+
+Consolidation is an investment: the initial packet pays recording and
+consolidation on top of the chain walk, and only subsequent packets
+collect the dividend.  This ablation sweeps flow size (packets per flow)
+and reports the per-flow total cost ratio — answering a question the
+paper leaves implicit: *how long must a flow live for SpeedyBox to pay
+off?*  (Relevant because datacenter traces are full of 1-3-packet mice.)
+"""
+
+from benchmarks.harness import make_platform, save_result
+from repro.core.framework import ServiceChain, SpeedyBox
+from repro.nf import IPFilter
+from repro.stats import format_table
+from repro.traffic import FlowSpec, TrafficGenerator
+from repro.traffic.generator import clone_packets
+
+FLOW_SIZES = [1, 2, 3, 4, 6, 10, 20, 50]
+CHAIN_LENGTH = 4
+
+
+def build_chain():
+    return [IPFilter(f"fw{i}", mark_dscp=10 + i) for i in range(CHAIN_LENGTH)]
+
+
+def flow_total_cycles(runtime_cls, size):
+    platform = make_platform("bess", runtime_cls(build_chain()))
+    spec = FlowSpec.tcp("10.0.0.1", "10.0.0.2", 1000, 80, packets=size, payload=b"x" * 26)
+    packets = TrafficGenerator([spec]).packets()
+    outcomes = platform.process_all(clone_packets(packets))
+    return sum(outcome.work_cycles for outcome in outcomes)
+
+
+def run_ablation():
+    results = {}
+    for size in FLOW_SIZES:
+        original = flow_total_cycles(ServiceChain, size)
+        speedybox = flow_total_cycles(SpeedyBox, size)
+        results[size] = {
+            "orig": original,
+            "sbox": speedybox,
+            "ratio": speedybox / original,
+        }
+    return results
+
+
+def _report(results):
+    rows = [
+        [size, f"{d['orig']:.0f}", f"{d['sbox']:.0f}", f"{d['ratio']:.3f}"]
+        for size, d in sorted(results.items())
+    ]
+    breakeven = next(
+        (size for size, d in sorted(results.items()) if d["ratio"] < 1.0), None
+    )
+    save_result(
+        "ablation_breakeven",
+        format_table(
+            ["packets/flow", "orig cycles", "sbox cycles", "sbox/orig"],
+            rows,
+            title=(
+                f"Ablation: break-even flow size on a {CHAIN_LENGTH}-NF chain "
+                f"(first win at {breakeven} packets)"
+            ),
+        ),
+    )
+
+
+def _assert_shape(results):
+    ratios = [results[size]["ratio"] for size in FLOW_SIZES]
+    # Monotone: every extra packet amortises the investment further.
+    assert ratios == sorted(ratios, reverse=True)
+    # Single-packet flows are a clear loss (recording + consolidation
+    # with zero dividend)...
+    assert results[1]["ratio"] > 1.1
+    # ...but the crossover comes within a handful of packets on a 4-NF
+    # chain, and long flows converge toward the steady-state fast-path
+    # ratio.
+    assert results[4]["ratio"] < 1.0
+    assert results[50]["ratio"] < 0.55
+
+
+def test_ablation_breakeven(benchmark):
+    results = benchmark.pedantic(run_ablation, rounds=3, iterations=1)
+    _report(results)
+    _assert_shape(results)

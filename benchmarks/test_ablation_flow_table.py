@@ -1,0 +1,109 @@
+"""Ablation — Global MAT capacity under flow churn.
+
+The 20-bit FID space and rule memory are finite; ``SpeedyBox(max_flows=N)``
+bounds the Global MAT with LRU eviction.  This ablation drives many
+concurrent flows through a small table and measures the fast-path hit
+rate and eviction count as capacity shrinks — the sizing curve an
+operator would consult.
+"""
+
+from benchmarks.harness import save_result
+from repro.core.framework import SpeedyBox
+from repro.nf import Monitor
+from repro.stats import format_table
+from repro.traffic import FlowSpec, TrafficGenerator
+
+FLOWS = 32
+PACKETS_PER_FLOW = 8
+
+
+WORKING_SET = 8
+
+
+def traffic():
+    """Staggered arrivals: at any instant ~WORKING_SET flows are live.
+
+    Flows come in waves of WORKING_SET; packets round-robin inside a
+    wave.  The live working set is therefore WORKING_SET flows — the
+    realistic regime where capacity either covers the working set (high
+    hit rate) or thrashes (LRU churn).
+    """
+    packets = []
+    for wave_start in range(0, FLOWS, WORKING_SET):
+        specs = [
+            FlowSpec.tcp(
+                "10.0.0.1", "10.0.0.2", 1000 + i, 80,
+                packets=PACKETS_PER_FLOW, payload=b"x",
+            )
+            for i in range(wave_start, min(wave_start + WORKING_SET, FLOWS))
+        ]
+        packets.extend(TrafficGenerator(specs, interleave="round_robin").packets())
+    return packets
+
+
+def run_one(max_flows):
+    sbox = SpeedyBox([Monitor("m")], max_flows=max_flows)
+    packets = traffic()
+    for packet in packets:
+        sbox.process(packet)
+    total = len(packets)
+    return {
+        "fast_rate": sbox.fast_packets / total,
+        "evictions": sbox.global_mat.evictions,
+        "consolidations": sbox.global_mat.consolidations,
+    }
+
+
+def run_ablation():
+    capacities = [None, 32, 16, 8, 4, 2]
+    return {capacity: run_one(capacity) for capacity in capacities}
+
+
+def _report(results):
+    rows = []
+    for capacity, data in results.items():
+        label = "unbounded" if capacity is None else str(capacity)
+        rows.append(
+            [
+                label,
+                f"{100 * data['fast_rate']:.1f}%",
+                data["evictions"],
+                data["consolidations"],
+            ]
+        )
+    save_result(
+        "ablation_flow_table",
+        format_table(
+            ["max_flows", "fast-path rate", "evictions", "consolidations"],
+            rows,
+            title=f"Ablation: Global MAT capacity vs hit rate ({FLOWS} concurrent flows)",
+        ),
+    )
+
+
+def _assert_shape(results):
+    # Ample capacity: one slow packet per flow, everything else fast.
+    full = results[None]
+    expected_fast = (FLOWS * (PACKETS_PER_FLOW - 1)) / (FLOWS * PACKETS_PER_FLOW)
+    assert abs(full["fast_rate"] - expected_fast) < 0.01
+    assert full["evictions"] == 0
+    assert results[32]["evictions"] == 0  # capacity == flow count fits
+
+    # Capacity covering the live working set keeps the hit rate at the
+    # unbounded level (old waves' rules are evicted harmlessly).
+    assert abs(results[8]["fast_rate"] - full["fast_rate"]) < 0.01
+    assert abs(results[16]["fast_rate"] - full["fast_rate"]) < 0.01
+
+    # Below the working set, LRU + round-robin thrashes: hit rate
+    # collapses and every miss re-records and re-consolidates.
+    rates = [results[c]["fast_rate"] for c in (8, 4, 2)]
+    assert rates == sorted(rates, reverse=True)
+    assert results[2]["fast_rate"] < 0.2
+    assert results[2]["evictions"] > results[8]["evictions"]
+    assert results[2]["consolidations"] > results[None]["consolidations"]
+
+
+def test_ablation_flow_table(benchmark):
+    results = benchmark.pedantic(run_ablation, rounds=3, iterations=1)
+    _report(results)
+    _assert_shape(results)

@@ -1,0 +1,80 @@
+"""Ablation — how isolation cost (R4) scales SpeedyBox's benefit.
+
+The paper argues redundant I/O from isolation (R4) is one of the four
+redundancies consolidation mitigates.  This ablation sweeps the ONVM
+cross-core transfer cost (cache-coherence traffic per ring hop) and
+measures the latency advantage of SpeedyBox on a 4-NF chain: the pricier
+the isolation, the more the fast path saves.
+"""
+
+from benchmarks.harness import percent_reduction, save_result, uniform_flow_packets
+from repro.core.framework import ServiceChain, SpeedyBox
+from repro.nf import IPFilter
+from repro.platform import CostModel, OpenNetVMPlatform, PlatformConfig
+from repro.stats import format_table
+from repro.traffic.generator import clone_packets
+
+BASE_SYNC = CostModel().cross_core_sync
+
+
+def build_chain():
+    return [IPFilter(f"fw{i}") for i in range(4)]
+
+
+def latency_us(runtime, sync_cycles):
+    config = PlatformConfig(cost_model=CostModel().with_overrides(cross_core_sync=sync_cycles))
+    platform = OpenNetVMPlatform(runtime, config)
+    packets = uniform_flow_packets(packets=4)
+    outcomes = platform.process_all(clone_packets(packets))
+    return outcomes[-1].latency_ns / 1000.0
+
+
+def run_ablation():
+    results = {}
+    for factor in (0.25, 0.5, 1.0, 2.0, 4.0):
+        sync = BASE_SYNC * factor
+        original = latency_us(ServiceChain(build_chain()), sync)
+        speedybox = latency_us(SpeedyBox(build_chain()), sync)
+        results[factor] = {
+            "sync_cycles": sync,
+            "original_us": original,
+            "speedybox_us": speedybox,
+            "reduction_pct": percent_reduction(original, speedybox),
+        }
+    return results
+
+
+def _report(results):
+    rows = [
+        [
+            f"{factor}x ({data['sync_cycles']:.0f} cyc)",
+            f"{data['original_us']:.3f}",
+            f"{data['speedybox_us']:.3f}",
+            f"-{data['reduction_pct']:.1f}%",
+        ]
+        for factor, data in sorted(results.items())
+    ]
+    save_result(
+        "ablation_isolation_cost",
+        format_table(
+            ["cross-core cost", "original (us)", "w/ SBox (us)", "reduction"],
+            rows,
+            title="Ablation: ONVM isolation cost vs SpeedyBox benefit (4 x IPFilter)",
+        ),
+    )
+
+
+def _assert_shape(results):
+    reductions = [data["reduction_pct"] for __, data in sorted(results.items())]
+    # The pricier the per-hop isolation, the bigger consolidation's win.
+    assert reductions == sorted(reductions)
+    # Original latency grows with isolation cost; the fast path (no NF
+    # hops at all) barely moves.
+    assert results[4.0]["original_us"] > 1.5 * results[0.25]["original_us"]
+    assert results[4.0]["speedybox_us"] < 1.2 * results[0.25]["speedybox_us"]
+
+
+def test_ablation_isolation_cost(benchmark):
+    results = benchmark.pedantic(run_ablation, rounds=3, iterations=1)
+    _report(results)
+    _assert_shape(results)

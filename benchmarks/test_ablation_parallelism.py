@@ -1,0 +1,90 @@
+"""Ablation — worker cores and the value of state-function parallelism.
+
+Two design questions behind §V-C2:
+
+1. How many worker cores does the parallel schedule actually need?
+   (Latency vs ``worker_cores`` for a wide all-READ wave.)
+2. What does the fork/join overhead cost when parallelism cannot help?
+   (A WRITE-serialised chain where every wave has width 1.)
+"""
+
+from benchmarks.harness import save_result, uniform_flow_packets
+from repro.core.framework import ServiceChain, SpeedyBox
+from repro.core.state_function import PayloadClass
+from repro.nf import SyntheticNF
+from repro.platform import BessPlatform, PlatformConfig
+from repro.stats import format_table
+from repro.traffic.generator import clone_packets
+
+WIDE_WAVE = 6  # six parallelizable READ batches
+
+
+def read_chain():
+    return [
+        SyntheticNF(f"reader{i}", sf_payload_class=PayloadClass.READ, sf_work_cycles=1500)
+        for i in range(WIDE_WAVE)
+    ]
+
+
+def write_chain():
+    return [
+        SyntheticNF(f"writer{i}", sf_payload_class=PayloadClass.WRITE, sf_work_cycles=1500)
+        for i in range(3)
+    ]
+
+
+def fast_latency_us(chain, worker_cores):
+    config = PlatformConfig(worker_cores=worker_cores)
+    platform = BessPlatform(SpeedyBox(chain), config)
+    packets = uniform_flow_packets(packets=4)
+    outcomes = platform.process_all(clone_packets(packets))
+    return outcomes[-1].latency_ns / 1000.0
+
+
+def run_ablation():
+    results = {"workers": {}, "writers": {}}
+    for workers in (1, 2, 3, 6, 12):
+        results["workers"][workers] = fast_latency_us(read_chain(), workers)
+    # WRITE batches serialise regardless of worker count.
+    for workers in (1, 6):
+        results["writers"][workers] = fast_latency_us(write_chain(), workers)
+    # Baseline for context.
+    platform = BessPlatform(ServiceChain(read_chain()))
+    outcomes = platform.process_all(clone_packets(uniform_flow_packets(packets=4)))
+    results["original_us"] = outcomes[-1].latency_ns / 1000.0
+    return results
+
+
+def _report(results):
+    rows = [[w, f"{value:.3f}"] for w, value in sorted(results["workers"].items())]
+    rows.append(["original chain", f"{results['original_us']:.3f}"])
+    save_result(
+        "ablation_worker_cores",
+        format_table(
+            ["worker cores", "fast-path latency (us)"],
+            rows,
+            title=f"Ablation: latency of one {WIDE_WAVE}-wide READ wave vs worker cores",
+        ),
+    )
+
+
+def _assert_shape(results):
+    workers = results["workers"]
+    # More workers -> lower latency, monotonically, until saturation.
+    assert workers[1] > workers[2] > workers[3] >= workers[6]
+    # Beyond wave width there is nothing left to parallelise.
+    assert workers[6] == workers[12]
+    # Full width approaches 1/WIDE_WAVE of the single-worker wave time.
+    speedup = workers[1] / workers[6]
+    assert speedup > WIDE_WAVE * 0.55
+    # Even one worker core (sequential execution with fork/join tax)
+    # still beats the original chain: consolidation carries it.
+    assert workers[1] < results["original_us"]
+    # WRITE chains can't parallelise: worker count is irrelevant.
+    assert results["writers"][1] == results["writers"][6]
+
+
+def test_ablation_worker_cores(benchmark):
+    results = benchmark.pedantic(run_ablation, rounds=3, iterations=1)
+    _report(results)
+    _assert_shape(results)

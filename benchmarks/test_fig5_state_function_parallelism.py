@@ -1,0 +1,119 @@
+"""Figure 5 — effect of state function parallelism.
+
+Paper setup: a chain of 1-3 identical synthetic NFs, each with no header
+action and one Snort-inspection-equivalent state function (READ payload,
+so all batches are pairwise parallelizable).  Measures processing rate
+(5a) and per-packet latency (5b) for BESS/ONVM with and without SpeedyBox.
+
+Paper anchors: BESS original rate decays with the number of state
+functions while BESS w/ SpeedyBox holds (2.1x at three SFs); ONVM's rate
+stays flat either way (pipelining); SpeedyBox cuts BESS latency by 59%
+at three SFs (optimal (N-1)/N) and loses slightly at one SF.
+"""
+
+from benchmarks.harness import (
+    chain_latency_cycles,
+    make_platform,
+    percent_reduction,
+    save_result,
+    uniform_flow_packets,
+)
+from repro.core.framework import ServiceChain, SpeedyBox
+from repro.core.state_function import PayloadClass
+from repro.nf import SyntheticNF
+from repro.stats import format_table
+from repro.traffic.generator import clone_packets
+
+SNORT_EQUIVALENT_CYCLES = 1600.0
+
+
+def build_chain(n):
+    return lambda: [
+        SyntheticNF(
+            f"synthetic{i}",
+            sf_payload_class=PayloadClass.READ,
+            sf_work_cycles=SNORT_EQUIVALENT_CYCLES,
+        )
+        for i in range(n)
+    ]
+
+
+def run_fig5():
+    packets = uniform_flow_packets(packets=40)
+    results = {}
+    for platform_name in ("bess", "onvm"):
+        for variant, runtime_cls in (("original", ServiceChain), ("speedybox", SpeedyBox)):
+            for n in (1, 2, 3):
+                platform = make_platform(platform_name, runtime_cls(build_chain(n)()))
+                load = platform.run_load(clone_packets(packets))
+                platform.reset()
+                outcomes = platform.process_all(clone_packets(packets[:4]))
+                results[(platform_name, variant, n)] = {
+                    "rate_mpps": load.throughput_mpps,
+                    "latency_us": outcomes[-1].latency_ns / 1000.0,
+                }
+    return results
+
+
+def _report(results):
+    for metric, label, fname in (
+        ("rate_mpps", "Processing Rate (Mpps)", "fig5a_rate"),
+        ("latency_us", "Processing Latency (us)", "fig5b_latency"),
+    ):
+        rows = []
+        for n in (1, 2, 3):
+            rows.append(
+                [
+                    n,
+                    results[("bess", "original", n)][metric],
+                    results[("bess", "speedybox", n)][metric],
+                    results[("onvm", "original", n)][metric],
+                    results[("onvm", "speedybox", n)][metric],
+                ]
+            )
+        text = format_table(
+            ["# State Function", "BESS", "BESS w/ SBox", "ONVM", "ONVM w/ SBox"],
+            rows,
+            title=f"Figure 5: {label} vs number of state functions",
+        )
+        save_result(fname, text)
+
+
+def _assert_shape(results):
+    def rate(platform, variant, n):
+        return results[(platform, variant, n)]["rate_mpps"]
+
+    def latency(platform, variant, n):
+        return results[(platform, variant, n)]["latency_us"]
+
+    # 5a: BESS original rate decays roughly as 1/N.
+    assert rate("bess", "original", 1) > rate("bess", "original", 2) > rate("bess", "original", 3)
+    assert rate("bess", "original", 3) < 0.5 * rate("bess", "original", 1)
+
+    # 5a: SpeedyBox keeps BESS's rate nearly flat and beats the original
+    # by ~2x at three state functions (paper: 2.1x).
+    speedup3 = rate("bess", "speedybox", 3) / rate("bess", "original", 3)
+    assert 1.7 <= speedup3 <= 3.0, f"BESS speedup at 3 SFs: {speedup3:.2f}x (paper: 2.1x)"
+    assert rate("bess", "speedybox", 3) > 0.85 * rate("bess", "speedybox", 1)
+
+    # 5a: ONVM's pipelined rate stays flat as the chain grows.
+    assert rate("onvm", "original", 3) > 0.8 * rate("onvm", "original", 1)
+
+    # 5b: latency reduction at 3 SFs approaches (N-1)/N (paper: 59%).
+    for platform in ("bess", "onvm"):
+        reduction = percent_reduction(latency(platform, "original", 3), latency(platform, "speedybox", 3))
+        assert 45.0 <= reduction <= 70.0, f"{platform}: {reduction:.1f}% (paper: 59%)"
+
+    # 5b: with a single state function there is a slight degradation
+    # (collection overhead), not a win.
+    assert latency("bess", "speedybox", 1) > 0.95 * latency("bess", "original", 1)
+
+    # 5b: original latency grows with the chain; SpeedyBox's stays flat.
+    assert latency("bess", "original", 3) > 2.0 * latency("bess", "original", 1)
+    assert latency("bess", "speedybox", 3) < 1.25 * latency("bess", "speedybox", 1)
+
+
+def test_fig5_state_function_parallelism(benchmark):
+    results = benchmark.pedantic(run_fig5, rounds=2, iterations=1)
+    _report(results)
+    _assert_shape(results)

@@ -1,0 +1,109 @@
+"""Figure 6 — consolidation + parallelism on the Snort+Monitor chain.
+
+Paper setup: a chain of Snort followed by Monitor; both contribute
+header actions and state functions, so both optimizations apply.
+
+Paper anchors (6a, CPU cycles/packet): BESS 1082 -> 581 (-46.3%), ONVM
+1202 -> 632 (-47.4%).  (6b, rate): BESS 0.601 -> 0.894 Mpps (parallelism
+helps the run-to-completion model); ONVM 0.543 -> 0.552 (pipelined
+ONVM's rate does not improve — matching OpenNetVM's own paper).
+"""
+
+from benchmarks.harness import (
+    chain_main_core_cycles,
+    make_platform,
+    percent_reduction,
+    save_result,
+    uniform_flow_packets,
+)
+from repro.core.framework import ServiceChain, SpeedyBox
+from repro.nf import Monitor, SnortIDS
+from repro.stats import format_table
+from repro.traffic.generator import clone_packets
+
+RULES_TEXT = """
+alert tcp any any -> any any (msg:"exploit"; content:"exploit"; sid:1;)
+alert tcp any any -> any any (msg:"beacon"; content:"beacon"; sid:2;)
+log tcp any any -> any any (msg:"http"; content:"GET "; sid:3;)
+"""
+
+
+def build_chain():
+    return [SnortIDS("snort", RULES_TEXT), Monitor("monitor")]
+
+
+def run_fig6():
+    packets = uniform_flow_packets(packets=40, payload=b"benign traffic on the wire")
+    results = {}
+    for platform_name in ("bess", "onvm"):
+        for variant, runtime_cls in (("original", ServiceChain), ("speedybox", SpeedyBox)):
+            platform = make_platform(platform_name, runtime_cls(build_chain()))
+            load = platform.run_load(clone_packets(packets))
+            platform.reset()
+            outcomes = platform.process_all(clone_packets(packets[:4]))
+            results[(platform_name, variant)] = {
+                "cycles": chain_main_core_cycles(outcomes[-1]),
+                "rate_mpps": load.throughput_mpps,
+            }
+    return results
+
+
+def _report(results):
+    cycle_rows = []
+    rate_rows = []
+    for platform_name, label in (("bess", "BESS"), ("onvm", "OpenNetVM")):
+        orig = results[(platform_name, "original")]
+        sbox = results[(platform_name, "speedybox")]
+        cycle_rows.append([label, orig["cycles"], sbox["cycles"],
+                           f"-{percent_reduction(orig['cycles'], sbox['cycles']):.1f}%"])
+        rate_rows.append([label, orig["rate_mpps"], sbox["rate_mpps"],
+                          f"{sbox['rate_mpps'] / orig['rate_mpps']:.2f}x"])
+    save_result(
+        "fig6a_cpu_cycles",
+        format_table(
+            ["Platform", "Original", "w/ SBox", "Reduction"],
+            cycle_rows,
+            title="Figure 6(a): CPU cycle per packet, Snort+Monitor chain",
+        ),
+    )
+    save_result(
+        "fig6b_rate",
+        format_table(
+            ["Platform", "Original (Mpps)", "w/ SBox (Mpps)", "Speedup"],
+            rate_rows,
+            title="Figure 6(b): processing rate, Snort+Monitor chain",
+        ),
+    )
+
+
+def _assert_shape(results):
+    for platform_name in ("bess", "onvm"):
+        orig = results[(platform_name, "original")]
+        sbox = results[(platform_name, "speedybox")]
+        # 6a: consolidation cuts per-packet CPU cycles substantially
+        # (paper: 46.3% / 47.4%).
+        reduction = percent_reduction(orig["cycles"], sbox["cycles"])
+        assert 25.0 <= reduction <= 60.0, f"{platform_name}: {reduction:.1f}% (paper: ~46%)"
+
+    # 6b: parallelism improves the run-to-completion BESS rate...
+    bess_speedup = (
+        results[("bess", "speedybox")]["rate_mpps"] / results[("bess", "original")]["rate_mpps"]
+    )
+    assert bess_speedup >= 1.15, f"BESS speedup {bess_speedup:.2f}x (paper: 1.32-1.49x)"
+
+    # ...but NOT the already-pipelined ONVM rate (paper: 0.543 -> 0.552,
+    # i.e. ~1.0x).  Our model concentrates all fast-path work on the
+    # Manager core, which shows up as a modest rate penalty instead of
+    # parity — see EXPERIMENTS.md for the discrepancy discussion.
+    onvm_speedup = (
+        results[("onvm", "speedybox")]["rate_mpps"] / results[("onvm", "original")]["rate_mpps"]
+    )
+    assert 0.55 <= onvm_speedup <= 1.2, f"ONVM speedup {onvm_speedup:.2f}x (paper: ~1.0x)"
+    # The ONVM rate gain, if any, is far smaller than BESS's.
+    assert onvm_speedup < bess_speedup
+
+
+def test_fig6_snort_monitor(benchmark):
+    results = benchmark.pedantic(run_fig6, rounds=2, iterations=1)
+    _report(results)
+    _assert_shape(results)

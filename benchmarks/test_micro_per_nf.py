@@ -1,0 +1,111 @@
+"""Microbenchmark — per-NF consolidation profile.
+
+The paper's footnote points to an external repository with
+microbenchmark results for the remaining NFs beyond IPFilter; this bench
+fills that gap in-tree: for every NF family we measure the original
+per-packet cost, the SpeedyBox fast-path cost of a single-NF chain, and
+which optimisation (header consolidation vs recorded state function) the
+NF exercises.
+
+Single-NF chains are the worst case for SpeedyBox — the framework
+overhead is amortised over exactly one NF — so several rows legitimately
+show a *loss* (Fig. 4's one-header-action observation, generalised).
+"""
+
+from benchmarks.harness import chain_cycles, save_result, uniform_flow_packets
+from repro.core.framework import ServiceChain, SpeedyBox
+from repro.nf import (
+    DosPrevention,
+    IPFilter,
+    MaglevLoadBalancer,
+    MazuNAT,
+    Monitor,
+    SnortIDS,
+    VniMap,
+    VpnEncap,
+    VxlanGateway,
+)
+from repro.platform import BessPlatform
+from repro.stats import format_table
+from repro.traffic.generator import clone_packets
+
+RULES_TEXT = 'alert tcp any any -> any any (msg:"m"; content:"needle"; sid:1;)'
+
+NF_FACTORIES = {
+    "IPFilter": lambda: IPFilter("nf"),
+    "Monitor": lambda: Monitor("nf"),
+    "MazuNAT": lambda: MazuNAT("nf"),
+    "Maglev": lambda: MaglevLoadBalancer("nf", table_size=131),
+    "Snort": lambda: SnortIDS("nf", RULES_TEXT),
+    "DoS": lambda: DosPrevention("nf", threshold=1000, mode="packets"),
+    "VPN encap": lambda: VpnEncap("nf"),
+    "VXLAN gw": lambda: VxlanGateway("nf", VniMap([("0.0.0.0/0", 7)])),
+}
+
+
+def run_micro():
+    packets = uniform_flow_packets(packets=6)
+    results = {}
+    for label, factory in NF_FACTORIES.items():
+        original = BessPlatform(ServiceChain([factory()]))
+        speedybox = BessPlatform(SpeedyBox([factory()]))
+        orig_sub = original.process_all(clone_packets(packets))[-1]
+        sbox_sub = speedybox.process_all(clone_packets(packets))[-1]
+        rule = speedybox.runtime.global_mat.peek(
+            speedybox.runtime.global_mat.flows()[0]
+        )
+        results[label] = {
+            "orig": chain_cycles(orig_sub),
+            "sbox": chain_cycles(sbox_sub),
+            "has_modify": bool(rule.consolidated.field_ops),
+            "has_encap": bool(rule.consolidated.net_encaps),
+            "sf_count": rule.schedule.batch_count,
+        }
+    return results
+
+
+def _report(results):
+    rows = []
+    for label, data in results.items():
+        delta = 100.0 * (data["sbox"] / data["orig"] - 1.0)
+        kind = []
+        if data["has_modify"]:
+            kind.append("modify")
+        if data["has_encap"]:
+            kind.append("encap")
+        if data["sf_count"]:
+            kind.append(f"{data['sf_count']} SF")
+        rows.append(
+            [label, f"{data['orig']:.0f}", f"{data['sbox']:.0f}", f"{delta:+.1f}%", "+".join(kind) or "forward"]
+        )
+    save_result(
+        "micro_per_nf",
+        format_table(
+            ["NF", "orig cycles", "fast-path cycles", "delta", "consolidated as"],
+            rows,
+            title="Microbenchmark: single-NF chains, subsequent packets (worst case)",
+        ),
+    )
+
+
+def _assert_shape(results):
+    # Every NF family consolidates into something sensible.
+    assert results["MazuNAT"]["has_modify"]
+    assert results["Maglev"]["has_modify"]
+    assert results["VPN encap"]["has_encap"]
+    assert results["VXLAN gw"]["has_encap"]
+    assert results["Snort"]["sf_count"] == 1
+    assert results["Monitor"]["sf_count"] == 1
+    # Stateless forwarders on single-NF chains lose (framework overhead
+    # exceeds one NF's savings) — the generalised Fig. 4 point.
+    assert results["IPFilter"]["sbox"] > results["IPFilter"]["orig"]
+    # For every NF, the fast path stays within 2x of the original even in
+    # this worst case: the overhead is bounded.
+    for label, data in results.items():
+        assert data["sbox"] < 2.0 * data["orig"], label
+
+
+def test_micro_per_nf(benchmark):
+    results = benchmark.pedantic(run_micro, rounds=3, iterations=1)
+    _report(results)
+    _assert_shape(results)

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Early packet drop + the Event Table's drop event (Table III & Fig. 3).
+
+Two demonstrations in one chain:
+
+1. A firewall at the END of the chain blacklists one destination — the
+   original chain carries those packets through every NF before
+   dropping; SpeedyBox drops them at the classifier (Table III, ~65%
+   CPU saved).
+2. A DoS-prevention NF at the FRONT counts per-flow packets — when a
+   flow exceeds its budget, the registered event flips the flow's
+   consolidated action from FORWARD to DROP at runtime (Fig. 3).
+
+Run:  python examples/early_drop.py
+"""
+
+from repro import BessPlatform, ServiceChain, SpeedyBox
+from repro.nf import DosPrevention, IPFilter, Monitor
+from repro.nf.ipfilter import AclRule, Verdict
+from repro.stats import format_table
+from repro.traffic import FlowSpec, TrafficGenerator
+from repro.traffic.generator import clone_packets
+
+
+def build_chain():
+    return [
+        DosPrevention("dos", threshold=50, mode="packets"),
+        Monitor("monitor"),
+        IPFilter(
+            "firewall",
+            rules=[AclRule.make(dst="198.51.100.66", verdict=Verdict.DROP)],
+        ),
+    ]
+
+
+def main():
+    flows = [
+        # A well-behaved flow to an allowed destination.
+        FlowSpec.tcp("10.0.0.1", "93.184.216.34", 1111, 80, packets=40, payload=b"ok"),
+        # A flow to the blacklisted destination: late drop vs early drop.
+        FlowSpec.tcp("10.0.0.2", "198.51.100.66", 2222, 80, packets=40, payload=b"blocked"),
+        # A flow that exceeds the DoS budget: the event flips it to drop.
+        FlowSpec.tcp("10.0.0.3", "93.184.216.34", 3333, 80, packets=80, payload=b"flood"),
+    ]
+    packets = TrafficGenerator(flows, interleave="sequential").packets()
+
+    original = BessPlatform(ServiceChain(build_chain()))
+    speedybox = BessPlatform(SpeedyBox(build_chain()))
+
+    rows = []
+    for label, spec in (("allowed", flows[0]), ("blacklisted", flows[1]), ("flooding", flows[2])):
+        stream = TrafficGenerator([spec]).packets()
+        orig = [original.process(p) for p in clone_packets(stream)]
+        sbox = [speedybox.process(p) for p in clone_packets(stream)]
+        rows.append(
+            [
+                label,
+                f"{sum(o.work_cycles for o in orig):.0f}",
+                f"{sum(o.work_cycles for o in sbox):.0f}",
+                f"{sum(1 for o in orig if o.dropped)}/{len(orig)}",
+                f"{sum(1 for o in sbox if o.dropped)}/{len(sbox)}",
+            ]
+        )
+
+    print(format_table(
+        ["flow", "orig cycles", "sbox cycles", "orig dropped", "sbox dropped"],
+        rows,
+        title="DoS -> Monitor -> Firewall: per-flow CPU and drop decisions",
+    ))
+
+    runtime = speedybox.runtime
+    blacklisted_cycles_orig = float(rows[1][1])
+    blacklisted_cycles_sbox = float(rows[1][2])
+    saving = 100 * (1 - blacklisted_cycles_sbox / blacklisted_cycles_orig)
+    print(f"\nblacklisted flow: early drop saves {saving:.1f}% CPU over the whole flow.")
+    print("(Table III's stateless firewall-only chain saves ~65% per packet; here")
+    print("the DoS and Monitor state functions still run on dropped-flow packets —")
+    print("they sit BEFORE the firewall, so their counters must keep counting.)")
+    print(f"DoS events fired: {runtime.event_table.total_triggered} "
+          f"(flooding flow flipped to DROP mid-stream)")
+
+    dos = runtime.nf_by_name["dos"]
+    baseline_dos = original.runtime.nfs[0]
+    print(f"blocked-packet counters identical: "
+          f"{dos.blocked_flows == baseline_dos.blocked_flows}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""An IDS pipeline: firewall -> mini-Snort -> monitor (Chain 2, §VII-B3).
+
+Writes a small Snort rule set, synthesises traffic where 20% of the
+flows carry payloads matching the rules, and shows that SpeedyBox's fast
+path produces byte-identical alerts/logs while cutting flow processing
+time — the paper's Chain 2 experiment end to end.
+
+Run:  python examples/ids_pipeline.py
+"""
+
+from repro import BessPlatform, ServiceChain, SpeedyBox
+from repro.nf import IPFilter, Monitor, SnortIDS
+from repro.nf.snort.rules import parse_rules
+from repro.stats import Distribution, format_table
+from repro.traffic import DatacenterTraceConfig, DatacenterTraceGenerator, TrafficGenerator
+from repro.traffic.generator import clone_packets
+
+RULES_TEXT = """
+# A tiny but realistic rule set: two alerts, one log, one trusted host.
+alert tcp any any -> any any (msg:"C2 beacon";  content:"malware-beacon"; sid:9001; priority:1;)
+alert tcp any any -> any 8080 (msg:"shellcode"; content:"|90 90 90 90|"; sid:9002;)
+log   tcp any any -> any any (msg:"plain HTTP"; content:"GET /"; nocase; sid:9003;)
+pass  tcp 10.1.1.1 any -> any any (msg:"scanner exemption"; sid:9004;)
+"""
+
+
+def build_chain():
+    return [IPFilter("firewall"), SnortIDS("snort", RULES_TEXT), Monitor("monitor")]
+
+
+def main():
+    rules = parse_rules(RULES_TEXT)
+    config = DatacenterTraceConfig(
+        flows=80, seed=42, lognormal_mu=2.0, malicious_fraction=0.2
+    )
+    specs = DatacenterTraceGenerator(config, rules).generate_flows()
+    packets = TrafficGenerator(specs, interleave="round_robin").packets()
+    print(f"trace: {len(specs)} flows / {len(packets)} packets, ~20% malicious")
+
+    original = BessPlatform(ServiceChain(build_chain()))
+    speedybox = BessPlatform(SpeedyBox(build_chain()))
+
+    orig_latency = Distribution()
+    sbox_latency = Distribution()
+    for orig_pkt, sbox_pkt in zip(clone_packets(packets), clone_packets(packets)):
+        orig_latency.add(original.process(orig_pkt).latency_us)
+        sbox_latency.add(speedybox.process(sbox_pkt).latency_us)
+
+    orig_snort = original.runtime.nfs[1]
+    sbox_snort = speedybox.runtime.nf_by_name["snort"]
+
+    print(format_table(
+        ["metric", "original", "speedybox"],
+        [
+            ["alerts", len(orig_snort.alerts), len(sbox_snort.alerts)],
+            ["log entries", len(orig_snort.logs), len(sbox_snort.logs)],
+            ["p50 latency (us)", f"{orig_latency.p50:.3f}", f"{sbox_latency.p50:.3f}"],
+            ["p99 latency (us)", f"{orig_latency.p99:.3f}", f"{sbox_latency.p99:.3f}"],
+        ],
+        title="Chain 2: IPFilter -> Snort -> Monitor",
+    ))
+
+    assert orig_snort.alerts == sbox_snort.alerts, "alert streams must be identical"
+    assert orig_snort.logs == sbox_snort.logs, "log streams must be identical"
+    print("\nalert/log streams byte-identical across both paths ✓")
+
+    alerted_flows = sorted({str(record.flow) for record in sbox_snort.alerts})
+    print(f"\nflows that raised alerts ({len(alerted_flows)}):")
+    for flow in alerted_flows[:8]:
+        print(f"  {flow}")
+    if len(alerted_flows) > 8:
+        print(f"  ... and {len(alerted_flows) - 8} more")
+
+    print(f"\np50 latency reduction: {100 * (1 - sbox_latency.p50 / orig_latency.p50):.1f}%")
+    # Snort and Monitor state functions are payload-READ and payload-
+    # IGNORE: Table I says they run in one parallel wave on the fast path.
+    example_rule = next(iter(speedybox.runtime.global_mat.flows()), None)
+    if example_rule is not None:
+        rule = speedybox.runtime.global_mat.peek(example_rule)
+        print(f"fast-path schedule for one flow: {rule.schedule!r}")
+
+
+if __name__ == "__main__":
+    main()

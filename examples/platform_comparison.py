@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""BESS vs OpenNetVM across chain lengths (a live Figure 8).
+
+Sweeps firewall chains from 1 to 9 NFs on both platform models, with and
+without SpeedyBox, printing the latency and throughput series the
+paper's Fig. 8 plots.  Shows the two platforms' contrasting execution
+models: BESS's run-to-completion rate collapses as chains grow while
+OpenNetVM pipelines — and SpeedyBox's fast path makes length irrelevant
+on both.
+
+Run:  python examples/platform_comparison.py
+"""
+
+from repro import BessPlatform, OpenNetVMPlatform, ServiceChain, SpeedyBox
+from repro.nf import IPFilter
+from repro.stats import format_table
+from repro.traffic import FlowSpec, TrafficGenerator
+from repro.traffic.generator import clone_packets
+
+
+def build_chain(n):
+    return [IPFilter(f"fw{i}") for i in range(n)]
+
+
+def measure(platform_cls, runtime, packets, **kwargs):
+    platform = platform_cls(runtime, **kwargs)
+    load = platform.run_load(clone_packets(packets))
+    platform.reset()
+    outcomes = platform.process_all(clone_packets(packets[:4]))
+    return outcomes[-1].latency_ns / 1000.0, load.throughput_mpps
+
+
+def main():
+    spec = FlowSpec.tcp("10.0.0.1", "20.0.0.1", 1000, 80, packets=80, payload=b"x" * 26)
+    packets = TrafficGenerator([spec]).packets()
+
+    rows = []
+    for n in range(1, 10):
+        row = [n]
+        for platform_cls, max_len in ((BessPlatform, 9), (OpenNetVMPlatform, 5)):
+            for runtime_cls in (ServiceChain, SpeedyBox):
+                if n > max_len:
+                    row.extend(["-", "-"])
+                    continue
+                latency, rate = measure(platform_cls, runtime_cls(build_chain(n)), packets)
+                row.extend([f"{latency:.2f}", f"{rate:.2f}"])
+        rows.append(row)
+
+    print(format_table(
+        [
+            "len",
+            "BESS us", "BESS Mpps",
+            "BESS+SBox us", "BESS+SBox Mpps",
+            "ONVM us", "ONVM Mpps",
+            "ONVM+SBox us", "ONVM+SBox Mpps",
+        ],
+        rows,
+        title="Chain length sweep (ONVM capped at 5 NFs: the paper's 14-core testbed)",
+    ))
+    print("\nNote how the '+SBox' latency columns stay flat while the")
+    print("original chains grow linearly — cross-NF consolidation makes")
+    print("chain length irrelevant for subsequent packets (Fig. 8).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,8 @@
+"""Setup shim for legacy editable installs (offline environments without
+the ``wheel`` package, where PEP 660 editable builds are unavailable).
+All real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

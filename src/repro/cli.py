@@ -1,0 +1,303 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``demo``
+    Run traffic through a chain with and without SpeedyBox and print a
+    latency/throughput summary.
+
+``sweep``
+    Chain-length sweep (a live Figure 8) on a chosen platform.
+
+``equivalence``
+    Drive baseline and SpeedyBox in lockstep over a synthetic trace and
+    report any output mismatch (exit code 1 if any).
+
+``trace``
+    Generate a synthetic datacenter trace to a ``.sbtr`` file, or print a
+    summary of an existing one.
+
+Chain specs are comma-separated NF names, e.g. ``--chain
+nat,maglev,monitor,firewall``.  Each name may repeat; instances are
+numbered.  Run ``python -m repro demo --list-nfs`` to see the catalogue.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional
+
+from repro.core.framework import ServiceChain, SpeedyBox
+from repro.nf import (
+    DosPrevention,
+    IPFilter,
+    MaglevLoadBalancer,
+    MazuNAT,
+    Monitor,
+    SnortIDS,
+    SyntheticNF,
+    TokenBucketPolicer,
+    VniMap,
+    VpnDecap,
+    VpnEncap,
+    VxlanGateway,
+    VxlanTerminator,
+)
+from repro.nf.base import NetworkFunction
+from repro.platform import BessPlatform, OpenNetVMPlatform
+from repro.stats import Distribution, format_table
+from repro.traffic import DatacenterTraceConfig, DatacenterTraceGenerator, TrafficGenerator
+from repro.traffic.generator import clone_packets
+
+DEFAULT_RULES = """
+alert tcp any any -> any any (msg:"demo exploit"; content:"exploit"; sid:1;)
+log tcp any any -> any any (msg:"demo http"; content:"GET /"; sid:2;)
+"""
+
+NF_CATALOGUE: Dict[str, Callable[[int], NetworkFunction]] = {
+    "nat": lambda i: MazuNAT(f"nat{i}"),
+    "maglev": lambda i: MaglevLoadBalancer(f"maglev{i}", table_size=131),
+    "monitor": lambda i: Monitor(f"monitor{i}"),
+    "firewall": lambda i: IPFilter(f"firewall{i}"),
+    "snort": lambda i: SnortIDS(f"snort{i}", DEFAULT_RULES),
+    "dos": lambda i: DosPrevention(f"dos{i}", threshold=1000, mode="packets"),
+    "vpn-encap": lambda i: VpnEncap(f"vpnenc{i}"),
+    "vpn-decap": lambda i: VpnDecap(f"vpndec{i}"),
+    "gateway": lambda i: VxlanGateway(f"gateway{i}", VniMap([("0.0.0.0/0", 100 + i)])),
+    "terminator": lambda i: VxlanTerminator(f"terminator{i}"),
+    "synthetic": lambda i: SyntheticNF(f"synthetic{i}"),
+    "policer": lambda i: TokenBucketPolicer(f"policer{i}", rate_pps=1e6, burst=64),
+}
+
+
+def build_chain(spec: str) -> List[NetworkFunction]:
+    nfs: List[NetworkFunction] = []
+    for index, name in enumerate(part.strip() for part in spec.split(",")):
+        if not name:
+            continue
+        factory = NF_CATALOGUE.get(name)
+        if factory is None:
+            raise SystemExit(
+                f"unknown NF {name!r}; available: {', '.join(sorted(NF_CATALOGUE))}"
+            )
+        nfs.append(factory(index))
+    if not nfs:
+        raise SystemExit("empty chain spec")
+    return nfs
+
+
+def build_platform(name: str, runtime):
+    if name == "bess":
+        return BessPlatform(runtime)
+    if name == "onvm":
+        return OpenNetVMPlatform(runtime)
+    raise SystemExit(f"unknown platform {name!r} (bess|onvm)")
+
+
+def make_trace_packets(flows: int, seed: int, mean_packets: float = 8.0):
+    import math
+
+    config = DatacenterTraceConfig(
+        flows=flows,
+        seed=seed,
+        lognormal_mu=max(0.1, math.log(mean_packets)),
+    )
+    from repro.nf.snort.rules import parse_rules
+
+    specs = DatacenterTraceGenerator(config, parse_rules(DEFAULT_RULES)).generate_flows()
+    return TrafficGenerator(specs, interleave="round_robin").packets()
+
+
+# -- commands -------------------------------------------------------------------
+
+
+def cmd_demo(args: argparse.Namespace) -> int:
+    if args.list_nfs:
+        for name in sorted(NF_CATALOGUE):
+            print(name)
+        return 0
+
+    packets = make_trace_packets(args.flows, args.seed)
+    print(f"chain: {args.chain}   platform: {args.platform}   packets: {len(packets)}")
+
+    rows = []
+    variants = [("original", ServiceChain)]
+    if not args.no_speedybox:
+        variants.append(("speedybox", SpeedyBox))
+    results = {}
+    for label, runtime_cls in variants:
+        platform = build_platform(args.platform, runtime_cls(build_chain(args.chain)))
+        latency = Distribution()
+        dropped = 0
+        for packet in clone_packets(packets):
+            outcome = platform.process(packet)
+            latency.add(outcome.latency_us)
+            dropped += outcome.dropped
+        load = None
+        platform.reset()
+        load = platform.run_load(clone_packets(packets))
+        results[label] = latency
+        rows.append(
+            [
+                label,
+                f"{latency.p50:.3f}",
+                f"{latency.p99:.3f}",
+                f"{load.throughput_mpps:.2f}",
+                dropped,
+            ]
+        )
+    print(format_table(["variant", "p50 us", "p99 us", "Mpps", "dropped"], rows))
+    if "speedybox" in results:
+        reduction = 100 * (1 - results["speedybox"].p50 / results["original"].p50)
+        print(f"\np50 latency reduction: {reduction:.1f}%")
+    if args.dump_rules and not args.no_speedybox:
+        # Re-run once to leave the runtime populated, then dump its MAT.
+        # FIN packets are withheld so the rules survive for inspection.
+        from repro.core.inspector import dump_global_mat
+        from repro.net.headers import TCP_FIN, TCPHeader
+
+        runtime = SpeedyBox(build_chain(args.chain))
+        for packet in clone_packets(packets):
+            if isinstance(packet.l4, TCPHeader) and packet.l4.has_flag(TCP_FIN):
+                continue
+            runtime.process(packet)
+        print("\n" + dump_global_mat(runtime, limit=args.dump_rules))
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    packets = make_trace_packets(args.flows, args.seed)
+    max_len = args.max_length
+    if args.platform == "onvm":
+        max_len = min(max_len, OpenNetVMPlatform.MAX_CHAIN_LENGTH)
+    rows = []
+    for n in range(1, max_len + 1):
+        row = [n]
+        for runtime_cls in (ServiceChain, SpeedyBox):
+            chain = [IPFilter(f"fw{i}") for i in range(n)]
+            platform = build_platform(args.platform, runtime_cls(chain))
+            outcomes = platform.process_all(clone_packets(packets))
+            latency = Distribution([o.latency_us for o in outcomes])
+            row.append(f"{latency.p50:.3f}")
+        rows.append(row)
+    print(format_table(
+        ["chain length", "original p50 us", "speedybox p50 us"],
+        rows,
+        title=f"latency vs chain length on {args.platform}",
+    ))
+    return 0
+
+
+def cmd_equivalence(args: argparse.Namespace) -> int:
+    packets = make_trace_packets(args.flows, args.seed)
+    baseline = ServiceChain(build_chain(args.chain))
+    speedybox = SpeedyBox(build_chain(args.chain))
+    base_stream = clone_packets(packets)
+    sbox_stream = clone_packets(packets)
+    for packet in base_stream:
+        baseline.process(packet)
+    for packet in sbox_stream:
+        speedybox.process(packet)
+
+    mismatches = 0
+    for index, (a, b) in enumerate(zip(base_stream, sbox_stream)):
+        if a.dropped != b.dropped or (not a.dropped and a.serialize() != b.serialize()):
+            mismatches += 1
+            if mismatches <= 5:
+                print(f"MISMATCH at packet {index}: {a!r} vs {b!r}")
+    total = len(packets)
+    print(f"{total} packets, {mismatches} mismatches; "
+          f"fast path served {speedybox.fast_packets}/{total}")
+    return 1 if mismatches else 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro.net.trace import load_trace, write_trace
+
+    if args.generate:
+        packets = make_trace_packets(args.flows, args.seed)
+        for index, packet in enumerate(packets):
+            packet.timestamp_ns = index * float(args.gap_ns)
+        count = write_trace(args.generate, packets)
+        print(f"wrote {count} packets to {args.generate}")
+        return 0
+    if args.inspect:
+        packets = load_trace(args.inspect)
+        flows = {p.five_tuple() for p in packets}
+        total_bytes = sum(p.byte_length() for p in packets)
+        print(f"{args.inspect}: {len(packets)} packets, {len(flows)} flows, "
+              f"{total_bytes} bytes on the wire")
+        return 0
+    if args.to_pcap:
+        from repro.net.pcap import write_pcap
+
+        source, destination = args.to_pcap
+        packets = load_trace(source)
+        count = write_pcap(destination, packets)
+        print(f"converted {count} packets: {source} -> {destination} (open in Wireshark)")
+        return 0
+    print("trace: pass --generate PATH, --inspect PATH or --to-pcap SRC DST",
+          file=sys.stderr)
+    return 2
+
+
+def make_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SpeedyBox reproduction command-line interface",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p):
+        p.add_argument("--flows", type=int, default=40, help="flows in the synthetic trace")
+        p.add_argument("--seed", type=int, default=1, help="trace seed")
+
+    demo = sub.add_parser("demo", help="run a chain with and without SpeedyBox")
+    demo.add_argument("--chain", default="nat,monitor,firewall")
+    demo.add_argument("--platform", default="bess", choices=("bess", "onvm"))
+    demo.add_argument("--no-speedybox", action="store_true")
+    demo.add_argument("--list-nfs", action="store_true", help="print the NF catalogue")
+    demo.add_argument(
+        "--dump-rules",
+        type=int,
+        metavar="N",
+        default=0,
+        help="after the run, dump the last N consolidated Global MAT rules",
+    )
+    common(demo)
+    demo.set_defaults(func=cmd_demo)
+
+    sweep = sub.add_parser("sweep", help="chain-length sweep (live Fig. 8)")
+    sweep.add_argument("--platform", default="bess", choices=("bess", "onvm"))
+    sweep.add_argument("--max-length", type=int, default=9)
+    common(sweep)
+    sweep.set_defaults(func=cmd_sweep)
+
+    equivalence = sub.add_parser("equivalence", help="lockstep output comparison")
+    equivalence.add_argument("--chain", default="nat,maglev,monitor,firewall")
+    common(equivalence)
+    equivalence.set_defaults(func=cmd_equivalence)
+
+    trace = sub.add_parser("trace", help="generate, inspect or convert .sbtr traces")
+    trace.add_argument("--generate", metavar="PATH")
+    trace.add_argument("--inspect", metavar="PATH")
+    trace.add_argument(
+        "--to-pcap", nargs=2, metavar=("SRC", "DST"),
+        help="convert an .sbtr capture to a Wireshark-compatible .pcap",
+    )
+    trace.add_argument("--gap-ns", type=float, default=1000.0)
+    common(trace)
+    trace.set_defaults(func=cmd_trace)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = make_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

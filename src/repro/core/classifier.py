@@ -1,0 +1,166 @@
+"""The Packet Classifier (§III, §VI-B).
+
+Responsibilities:
+
+- hash the five-tuple into a 20-bit **FID** and attach it to the packet as
+  metadata, where it stays consistent along the whole chain even if NFs
+  rewrite the five-tuple;
+- decide whether a packet is *initial* (traverses the original chain and
+  records behaviour) or *subsequent* (takes the Global MAT fast path) —
+  the paper defines the initial packet as the first packet after the
+  connection is established, so TCP handshake packets always take the
+  original path and do not arm the fast path;
+- track TCP FIN/RST so closed flows' rules are deleted from the Global
+  MAT and all Local MATs.
+
+FID collisions (two live flows hashing to the same 20-bit value) are
+detected by remembering the owning five-tuple; collided flows are pinned
+to the original path so correctness never depends on hash uniqueness.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.net.flow import FiveTuple, PROTO_TCP
+from repro.net.headers import TCP_FIN, TCP_RST, TCP_SYN, TCPHeader
+from repro.net.packet import Packet
+from repro.platform.costs import CycleMeter, NULL_METER, Operation
+
+FID_BITS = 20
+FID_SPACE = 1 << FID_BITS
+
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+
+
+def fid_of(five_tuple: FiveTuple) -> int:
+    """FNV-1a over the packed five-tuple, XOR-folded to 20 bits.
+
+    Deterministic across runs and processes (unlike Python's salted
+    ``hash``), so recorded traces replay identically.
+    """
+    data = struct.pack(
+        "!IIHHB",
+        five_tuple.src_ip,
+        five_tuple.dst_ip,
+        five_tuple.src_port,
+        five_tuple.dst_port,
+        five_tuple.protocol,
+    )
+    value = _FNV_OFFSET
+    for byte in data:
+        value ^= byte
+        value = (value * _FNV_PRIME) & 0xFFFFFFFFFFFFFFFF
+    # XOR-fold 64 -> 20 bits.
+    folded = value ^ (value >> 20) ^ (value >> 40) ^ (value >> 60)
+    return folded & (FID_SPACE - 1)
+
+
+@dataclass
+class FlowEntry:
+    """Classifier-side per-flow connection state."""
+
+    fid: int
+    five_tuple: FiveTuple
+    established: bool = False
+    closed: bool = False
+    packets: int = 0
+
+
+@dataclass
+class Classification:
+    """What the classifier concluded about one packet."""
+
+    fid: int
+    entry: Optional[FlowEntry]
+    collided: bool = False
+    is_handshake: bool = False
+    is_closing: bool = False
+
+    @property
+    def fast_path_eligible(self) -> bool:
+        """May this packet use a cached Global MAT rule, if one exists?"""
+        return not (self.collided or self.is_handshake)
+
+    @property
+    def may_record(self) -> bool:
+        """May this packet's traversal install/refresh the fast path?
+
+        Handshake packets traverse the original chain but must not arm
+        the fast path: the paper's "initial packet" is the first packet
+        *after* establishment.
+        """
+        return not (self.collided or self.is_handshake)
+
+
+class PacketClassifier:
+    """FID assignment, connection tracking and flow cleanup."""
+
+    def __init__(self):
+        self._flows: Dict[int, FlowEntry] = {}
+        self.collisions = 0
+        self.packets_classified = 0
+
+    def __len__(self) -> int:
+        return len(self._flows)
+
+    def flow(self, fid: int) -> Optional[FlowEntry]:
+        return self._flows.get(fid)
+
+    def classify(self, packet: Packet, meter: CycleMeter = NULL_METER) -> Classification:
+        """Assign the FID, update connection state, attach metadata."""
+        self.packets_classified += 1
+        meter.charge(Operation.PARSE)  # the single parse of the fast design
+        five_tuple = packet.five_tuple()
+        fid = fid_of(five_tuple)
+        meter.charge(Operation.FID_HASH)
+
+        entry = self._flows.get(fid)
+        if entry is not None and entry.five_tuple != five_tuple:
+            # 20-bit collision between live flows: pin to the slow path.
+            self.collisions += 1
+            packet.metadata["fid"] = fid
+            packet.metadata["fid_collision"] = True
+            meter.charge(Operation.METADATA_ATTACH)
+            return Classification(fid=fid, entry=entry, collided=True)
+
+        if entry is None:
+            entry = FlowEntry(fid=fid, five_tuple=five_tuple)
+            self._flows[fid] = entry
+        entry.packets += 1
+
+        is_handshake = False
+        is_closing = False
+        if five_tuple.protocol == PROTO_TCP and isinstance(packet.l4, TCPHeader):
+            if packet.l4.has_flag(TCP_SYN) and not entry.established:
+                is_handshake = True
+            elif not entry.established:
+                entry.established = True
+            if packet.l4.has_flag(TCP_FIN) or packet.l4.has_flag(TCP_RST):
+                is_closing = True
+                entry.closed = True
+        else:
+            # Connectionless flows: first packet is already the initial one.
+            entry.established = True
+
+        packet.metadata["fid"] = fid
+        meter.charge(Operation.METADATA_ATTACH)
+        return Classification(
+            fid=fid,
+            entry=entry,
+            is_handshake=is_handshake,
+            is_closing=is_closing,
+        )
+
+    def detach(self, packet: Packet, meter: CycleMeter = NULL_METER) -> None:
+        """Remove the FID metadata as the packet leaves the chain (§VI-B)."""
+        packet.metadata.pop("fid", None)
+        packet.metadata.pop("fid_collision", None)
+        meter.charge(Operation.METADATA_DETACH)
+
+    def remove_flow(self, fid: int) -> bool:
+        """Forget a closed flow (frees the FID for reuse)."""
+        return self._flows.pop(fid, None) is not None

@@ -1,0 +1,424 @@
+"""The SpeedyBox runtime and the baseline service chain (§III, Fig. 1).
+
+:class:`ServiceChain` is the original, un-consolidated chain: every packet
+traverses every NF in order (stopping at a drop), exactly as BESS or
+OpenNetVM would run it without SpeedyBox.
+
+:class:`SpeedyBox` wires the Packet Classifier, per-NF Local MATs, the
+Global MAT and the Event Table around the same NF objects:
+
+- packets of not-yet-consolidated flows traverse the original chain while
+  the NFs record their behaviour through the instrumentation APIs; when
+  the initial packet finishes, the Global MAT consolidates;
+- subsequent packets take the fast path: event check → consolidated
+  header action → state-function schedule → post-update event check;
+- FIN/RST deletes the flow's rules everywhere.
+
+Both runtimes return a :class:`ProcessReport` carrying per-stage cycle
+meters; platforms (``repro.platform``) convert meters into time, adding
+their own transport costs (BESS module dispatch vs ONVM ring hops).
+
+Ablation flags: ``enable_consolidation`` (header-action consolidation,
+§V-B) and ``enable_parallelism`` (state-function parallelism, §V-C2) can
+be disabled independently to reproduce the Fig. 7 breakdown.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.actions import Decap, Drop, Encap, Forward, HeaderAction, Modify
+from repro.core.classifier import Classification, PacketClassifier
+from repro.core.consolidation import ConsolidatedAction
+from repro.core.event_table import EventTable
+from repro.core.global_mat import GlobalMAT, GlobalRule
+from repro.core.local_mat import InstrumentationAPI, LocalMAT, NullInstrumentationAPI
+from repro.net.packet import Packet
+from repro.nf.base import NetworkFunction
+from repro.platform.costs import CycleMeter, NULL_METER as _NULL_API_METER, Operation
+
+
+class PathTaken(enum.Enum):
+    ORIGINAL = "original"            # initial packet, recorded + consolidated
+    ORIGINAL_HANDSHAKE = "handshake"  # pre-establishment, not recorded
+    ORIGINAL_COLLISION = "collision"  # FID collision, pinned to slow path
+    FAST = "fast"                    # Global MAT fast path
+
+
+@dataclass
+class ProcessReport:
+    """Everything a platform needs to time one packet."""
+
+    path: PathTaken
+    fid: int
+    dropped: bool = False
+    closing: bool = False
+    events_fired: int = 0
+    #: classifier + MAT machinery + consolidated-action application
+    fixed_meter: CycleMeter = field(default_factory=CycleMeter)
+    #: slow path: chain-ordered (nf_name, meter) for NFs that ran
+    nf_meters: List[Tuple[str, CycleMeter]] = field(default_factory=list)
+    #: fast path: per wave, per batch (nf_name, meter)
+    sf_waves: List[List[Tuple[str, CycleMeter]]] = field(default_factory=list)
+
+    @property
+    def is_fast(self) -> bool:
+        return self.path is PathTaken.FAST
+
+    def total_meter(self) -> CycleMeter:
+        """All charges merged (platform-transport costs NOT included)."""
+        total = self.fixed_meter.copy()
+        for __, meter in self.nf_meters:
+            total.merge(meter)
+        for wave in self.sf_waves:
+            for __, meter in wave:
+                total.merge(meter)
+        return total
+
+
+def _check_unique_names(nfs: Sequence[NetworkFunction]) -> None:
+    names = [nf.name for nf in nfs]
+    if len(set(names)) != len(names):
+        raise ValueError(f"NF names must be unique within a chain, got {names}")
+
+
+class ServiceChain:
+    """The original chain: sequential NF traversal, no consolidation."""
+
+    def __init__(self, nfs: Sequence[NetworkFunction]):
+        if not nfs:
+            raise ValueError("a service chain needs at least one NF")
+        _check_unique_names(nfs)
+        self.nfs: List[NetworkFunction] = list(nfs)
+        self._api = NullInstrumentationAPI()
+        self.packets = 0
+
+    @property
+    def nf_names(self) -> Tuple[str, ...]:
+        return tuple(nf.name for nf in self.nfs)
+
+    def __len__(self) -> int:
+        return len(self.nfs)
+
+    def process(self, packet: Packet) -> ProcessReport:
+        """Run the packet through every NF in order (stop at drop)."""
+        self.packets += 1
+        report = ProcessReport(path=PathTaken.ORIGINAL, fid=-1)
+        for nf in self.nfs:
+            meter = CycleMeter()
+            nf.meter = meter
+            try:
+                nf.process(packet, self._api)
+            finally:
+                _detach_meter(nf)
+            report.nf_meters.append((nf.name, meter))
+            if packet.dropped:
+                report.dropped = True
+                break
+        if _is_closing_packet(packet):
+            report.closing = True
+            for nf in self.nfs:
+                nf.handle_flow_close(packet)
+        return report
+
+    def reset(self) -> None:
+        self.packets = 0
+        for nf in self.nfs:
+            nf.reset()
+
+
+def _detach_meter(nf: NetworkFunction):
+    from repro.platform.costs import NULL_METER
+
+    nf.meter = NULL_METER
+    return NULL_METER
+
+
+def _is_closing_packet(packet: Packet) -> bool:
+    from repro.net.headers import TCP_FIN, TCP_RST, TCPHeader
+
+    return isinstance(packet.l4, TCPHeader) and (
+        packet.l4.has_flag(TCP_FIN) or packet.l4.has_flag(TCP_RST)
+    )
+
+
+class SpeedyBox:
+    """The SpeedyBox runtime around a chain of NFs."""
+
+    def __init__(
+        self,
+        nfs: Sequence[NetworkFunction],
+        enable_consolidation: bool = True,
+        enable_parallelism: bool = True,
+        max_flows: Optional[int] = None,
+    ):
+        if not nfs:
+            raise ValueError("SpeedyBox needs at least one NF")
+        _check_unique_names(nfs)
+        self.nfs: List[NetworkFunction] = list(nfs)
+        self.nf_by_name: Dict[str, NetworkFunction] = {nf.name: nf for nf in nfs}
+        self.enable_consolidation = enable_consolidation
+        self.max_flows = max_flows
+        self.classifier = PacketClassifier()
+        self.event_table = EventTable()
+        self.global_mat = GlobalMAT(
+            enable_parallelism=enable_parallelism,
+            capacity=max_flows,
+            on_evict=self._on_rule_evicted,
+        )
+        self.local_mats: Dict[str, LocalMAT] = {
+            nf.name: LocalMAT(nf.name, self.event_table) for nf in nfs
+        }
+        self.apis: Dict[str, InstrumentationAPI] = {
+            nf.name: InstrumentationAPI(self.local_mats[nf.name], self.event_table) for nf in nfs
+        }
+        self.slow_packets = 0
+        self.fast_packets = 0
+
+    @property
+    def nf_names(self) -> Tuple[str, ...]:
+        return tuple(nf.name for nf in self.nfs)
+
+    @property
+    def enable_parallelism(self) -> bool:
+        return self.global_mat.enable_parallelism
+
+    # -- the per-packet entry point (Fig. 1 walkthrough) --------------------
+
+    def process(self, packet: Packet) -> ProcessReport:
+        report = ProcessReport(path=PathTaken.ORIGINAL, fid=-1)
+        classification = self.classifier.classify(packet, report.fixed_meter)
+        report.fid = classification.fid
+        report.closing = classification.is_closing
+
+        if classification.collided:
+            report.path = PathTaken.ORIGINAL_COLLISION
+            self._run_original(packet, report, record=False)
+        elif classification.is_handshake:
+            report.path = PathTaken.ORIGINAL_HANDSHAKE
+            self._run_original(packet, report, record=False)
+        else:
+            rule = self.global_mat.lookup(classification.fid)
+            report.fixed_meter.charge(Operation.GLOBAL_MAT_LOOKUP)
+            if rule is not None:
+                report.path = PathTaken.FAST
+                self._run_fast(packet, rule, report)
+            else:
+                report.path = PathTaken.ORIGINAL
+                self._run_original(packet, report, record=True)
+
+        if classification.is_closing:
+            self.delete_flow(classification.fid, report.fixed_meter)
+            # NFs clean their own per-flow state on FIN/RST, exactly as
+            # they would when seeing the teardown on the original path.
+            for nf in self.nfs:
+                nf.handle_flow_close(packet)
+
+        self.classifier.detach(packet, report.fixed_meter)
+        return report
+
+    # -- original path with recording ---------------------------------------
+
+    def _run_original(self, packet: Packet, report: ProcessReport, record: bool) -> None:
+        self.slow_packets += 1
+        fid = report.fid
+        if record:
+            for nf in self.nfs:
+                self.local_mats[nf.name].begin_recording(fid)
+                report.fixed_meter.charge(Operation.MAT_BEGIN_RECORD)
+
+        null_api = NullInstrumentationAPI()
+        for nf in self.nfs:
+            meter = CycleMeter()
+            nf.meter = meter
+            api = self.apis[nf.name] if record else null_api
+            api.meter = meter
+            try:
+                nf.process(packet, api)
+            finally:
+                _detach_meter(nf)
+                api.meter = _NULL_API_METER
+            report.nf_meters.append((nf.name, meter))
+            if packet.dropped:
+                report.dropped = True
+                break
+
+        if record and not report.closing:
+            self._consolidate(fid, report.fixed_meter)
+
+    def _consolidate(self, fid: int, meter: CycleMeter) -> GlobalRule:
+        ordered = [(nf.name, self.local_mats[nf.name].rule_for(fid)) for nf in self.nfs]
+        action_count = sum(len(rule.header_actions) for __, rule in ordered if rule is not None)
+        meter.charge(Operation.CONSOLIDATE_ACTION, max(action_count, 1))
+        meter.charge(Operation.GLOBAL_RULE_INSTALL)
+        return self.global_mat.build_rule(fid, ordered)
+
+    # -- the fast path -------------------------------------------------------
+
+    def _run_fast(self, packet: Packet, rule: GlobalRule, report: ProcessReport) -> None:
+        self.fast_packets += 1
+        fid = rule.fid
+        meter = report.fixed_meter
+        meter.charge(Operation.FAST_PATH_DISPATCH)
+
+        # (1) Event pre-check: has anything changed since the last packet?
+        fired = self._check_events(fid, meter)
+        if fired:
+            report.events_fired += fired
+            rule = self.global_mat.peek(fid) or rule
+
+        # (2) Apply the consolidated header action (or the raw action list
+        #     when the consolidation ablation is off).  Drop rules with
+        #     state functions defer the actual drop: the batches up to the
+        #     dropping NF must observe the packet exactly as the original
+        #     path showed it to their NFs — rewritten by the upstream
+        #     actions (pre_drop), and not yet dropped until the dropper's
+        #     own position.
+        is_drop_rule = self.enable_consolidation and rule.consolidated.drop
+        if self.enable_consolidation:
+            if is_drop_rule:
+                meter.charge(Operation.DROP_FREE)
+                if rule.schedule.batch_count and rule.pre_drop is not None:
+                    self._apply_nondrop(rule.pre_drop, packet, meter)
+            else:
+                self._apply_nondrop(rule.consolidated, packet, meter)
+        else:
+            self._apply_raw(rule, packet, meter)
+
+        # (3) Execute the state-function schedule.
+        for wave in rule.schedule.waves:
+            wave_meters: List[Tuple[str, CycleMeter]] = []
+            for batch in wave:
+                if is_drop_rule and not packet.dropped and batch.nf_name == rule.dropper:
+                    packet.drop()  # the dropper's own SFs see a dropped packet
+                batch_meter = CycleMeter()
+                owner = self.nf_by_name.get(batch.nf_name)
+                if owner is not None:
+                    owner.meter = batch_meter
+                batch_meter.charge(Operation.SF_INVOKE, len(batch))
+                try:
+                    batch.execute(packet)
+                finally:
+                    if owner is not None:
+                        _detach_meter(owner)
+                wave_meters.append((batch.nf_name, batch_meter))
+            report.sf_waves.append(wave_meters)
+        if is_drop_rule and not packet.dropped:
+            packet.drop()
+
+        # (4) Post-update event check ("as soon as states have been
+        #     updated", §V-C1): affects *subsequent* packets.
+        fired = self._check_events(fid, meter)
+        report.events_fired += fired
+
+        report.dropped = packet.dropped
+
+    def _apply_nondrop(self, action: ConsolidatedAction, packet: Packet, meter: CycleMeter) -> None:
+        """Charge and apply a consolidated action's non-drop effects."""
+        meter.charge(Operation.DECAP_OP, len(action.leading_decaps))
+        field_count = len(action.field_ops)
+        if field_count:
+            meter.charge(Operation.FIELD_WRITE)
+            meter.charge(Operation.MERGED_FIELD_WRITE, field_count - 1)
+            meter.charge(Operation.CHECKSUM_UPDATE)
+        meter.charge(Operation.ENCAP_OP, len(action.net_encaps))
+        action.apply(packet)
+
+    def _apply_raw(self, rule: GlobalRule, packet: Packet, meter: CycleMeter) -> None:
+        """Ablation: apply every recorded action sequentially (no merge)."""
+        for action in rule.raw_actions:
+            if isinstance(action, Drop):
+                meter.charge(Operation.DROP_FREE)
+            elif isinstance(action, Modify):
+                meter.charge(Operation.FIELD_WRITE, len(action.ops))
+                meter.charge(Operation.CHECKSUM_UPDATE)
+            elif isinstance(action, Encap):
+                meter.charge(Operation.ENCAP_OP)
+            elif isinstance(action, Decap):
+                meter.charge(Operation.DECAP_OP)
+            action.apply(packet)
+            if packet.dropped:
+                return
+        packet.finalize()
+
+    def _check_events(self, fid: int, meter: CycleMeter) -> int:
+        active = self.event_table.active_event_count(fid)
+        meter.charge(Operation.EVENT_CHECK, active)
+        if not active:
+            return 0
+        fired = self.event_table.check_fid(fid)
+        for event, replacement in fired:
+            local_mat = self.local_mats.get(event.nf_name)
+            if local_mat is None:
+                continue
+            if replacement is not None:
+                local_mat.replace_header_actions(fid, [replacement])
+            if event.update_state_functions is not None:
+                local_mat.replace_state_functions(fid, event.update_state_functions)
+        if fired:
+            self._consolidate(fid, meter)
+        return len(fired)
+
+    # -- introspection ---------------------------------------------------------
+
+    def stats(self) -> Dict[str, float]:
+        """A snapshot of the runtime's counters (monitoring surface)."""
+        total = self.slow_packets + self.fast_packets
+        return {
+            "packets": total,
+            "slow_packets": self.slow_packets,
+            "fast_packets": self.fast_packets,
+            "fast_path_rate": (self.fast_packets / total) if total else 0.0,
+            "active_rules": len(self.global_mat),
+            "consolidations": self.global_mat.consolidations,
+            "reconsolidations": self.global_mat.reconsolidations,
+            "evictions": self.global_mat.evictions,
+            "events_registered": self.event_table.total_registered,
+            "events_triggered": self.event_table.total_triggered,
+            "fid_collisions": self.classifier.collisions,
+            "tracked_flows": len(self.classifier),
+        }
+
+    # -- flow lifecycle ------------------------------------------------------
+
+    def _on_rule_evicted(self, fid: int) -> None:
+        """LRU eviction callback: tear down the flow's other records.
+
+        The classifier entry stays so connection state (established,
+        packet counts) survives; the flow's next packet takes the
+        original path and re-consolidates.
+        """
+        for local_mat in self.local_mats.values():
+            local_mat.delete_flow(fid)
+        self.event_table.clear_flow(fid)
+
+    def delete_flow(self, fid: int, meter: Optional[CycleMeter] = None) -> None:
+        """FIN/RST cleanup across every table (§VI-B)."""
+        if meter is not None:
+            meter.charge(Operation.FLOW_DELETE)
+        self.global_mat.delete_flow(fid)
+        for local_mat in self.local_mats.values():
+            local_mat.delete_flow(fid)
+        self.event_table.clear_flow(fid)
+        self.classifier.remove_flow(fid)
+
+    def reset(self) -> None:
+        """Fresh run: clear all tables and NF state."""
+        self.classifier = PacketClassifier()
+        self.event_table = EventTable()
+        self.global_mat = GlobalMAT(
+            enable_parallelism=self.global_mat.enable_parallelism,
+            capacity=self.max_flows,
+            on_evict=self._on_rule_evicted,
+        )
+        self.local_mats = {nf.name: LocalMAT(nf.name, self.event_table) for nf in self.nfs}
+        self.apis = {
+            nf.name: InstrumentationAPI(self.local_mats[nf.name], self.event_table)
+            for nf in self.nfs
+        }
+        self.slow_packets = 0
+        self.fast_packets = 0
+        for nf in self.nfs:
+            nf.reset()

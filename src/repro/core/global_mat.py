@@ -1,0 +1,202 @@
+"""The Global MAT (§V).
+
+For every flow the Global MAT holds one :class:`GlobalRule`: the
+consolidated header action plus the parallel schedule of state-function
+batches.  Rules are built from the chain-ordered Local MAT records when
+the initial packet finishes the original path, and rebuilt whenever the
+Event Table fires an update for the flow.
+
+Early drop and state functions: when the consolidated action is DROP
+(some NF at position *k* drops the flow), the rule still executes the
+state-function batches of NFs at positions ≤ *k* — those NFs observed the
+packet on the original path (e.g. a Monitor in front of the dropping
+Firewall keeps counting) — and discards the batches of NFs after *k*,
+which never saw the packet.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.actions import Drop, HeaderAction
+from repro.core.consolidation import ConsolidatedAction, consolidate_header_actions
+from repro.core.local_mat import LocalRule
+from repro.core.parallel import ParallelSchedule, build_schedule
+from repro.core.state_function import StateFunctionBatch
+
+
+class GlobalRule:
+    """One flow's consolidated fast-path rule."""
+
+    __slots__ = (
+        "fid",
+        "consolidated",
+        "schedule",
+        "nf_names",
+        "raw_actions",
+        "pre_drop",
+        "dropper",
+        "version",
+        "hits",
+    )
+
+    def __init__(
+        self,
+        fid: int,
+        consolidated: ConsolidatedAction,
+        schedule: ParallelSchedule,
+        nf_names: Sequence[str],
+        raw_actions: Sequence[HeaderAction] = (),
+        pre_drop: Optional[ConsolidatedAction] = None,
+        dropper: Optional[str] = None,
+    ):
+        self.fid = fid
+        self.consolidated = consolidated
+        self.schedule = schedule
+        self.nf_names: Tuple[str, ...] = tuple(nf_names)
+        #: chain-ordered un-consolidated actions (consolidation ablation)
+        self.raw_actions: Tuple[HeaderAction, ...] = tuple(raw_actions)
+        #: for drop rules: the consolidation of the actions *upstream* of
+        #: the drop — applied before state functions run, so they observe
+        #: the packet exactly as the original path showed it to their NFs
+        self.pre_drop = pre_drop
+        #: name of the NF whose DROP ended the chain (drop rules only)
+        self.dropper = dropper
+        self.version = 1
+        self.hits = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"<GlobalRule fid={self.fid} v{self.version} {self.consolidated!r} "
+            f"waves={self.schedule.wave_count}>"
+        )
+
+
+class GlobalMAT:
+    """FID → consolidated rule, plus the consolidation procedure.
+
+    ``capacity`` bounds the rule table (the 20-bit FID space is finite
+    and rules pin memory): when full, the least-recently-used rule is
+    evicted and ``on_evict(fid)`` — if provided — lets the framework tear
+    down the flow's Local MAT records and events.  Evicted flows simply
+    fall back to the original path and re-consolidate on their next
+    packet, so eviction is always safe.
+    """
+
+    def __init__(
+        self,
+        enable_parallelism: bool = True,
+        capacity: Optional[int] = None,
+        on_evict: Optional[Callable[[int], None]] = None,
+    ):
+        if capacity is not None and capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity!r}")
+        self.enable_parallelism = enable_parallelism
+        self.capacity = capacity
+        self.on_evict = on_evict
+        self._rules: "OrderedDict[int, GlobalRule]" = OrderedDict()
+        self.consolidations = 0
+        self.reconsolidations = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+    def __contains__(self, fid: int) -> bool:
+        return fid in self._rules
+
+    def lookup(self, fid: int) -> Optional[GlobalRule]:
+        rule = self._rules.get(fid)
+        if rule is not None:
+            rule.hits += 1
+            self._rules.move_to_end(fid)  # most recently used
+        return rule
+
+    def peek(self, fid: int) -> Optional[GlobalRule]:
+        return self._rules.get(fid)
+
+    def build_rule(self, fid: int, local_rules: Sequence[Tuple[str, LocalRule]]) -> GlobalRule:
+        """Consolidate the chain-ordered per-NF records into one rule.
+
+        ``local_rules`` pairs each NF name with its Local MAT record for
+        the flow, in chain order; NFs with no record contribute nothing.
+        """
+        actions: List[HeaderAction] = []
+        pre_drop_actions: List[HeaderAction] = []
+        drop_position: Optional[int] = None
+        dropper: Optional[str] = None
+        for position, (name, rule) in enumerate(local_rules):
+            if rule is None:
+                continue
+            actions.extend(rule.header_actions)
+            if drop_position is None:
+                for action in rule.header_actions:
+                    if isinstance(action, Drop):
+                        drop_position = position
+                        dropper = name
+                        break
+                    pre_drop_actions.append(action)
+
+        consolidated = consolidate_header_actions(actions)
+        pre_drop: Optional[ConsolidatedAction] = None
+        if drop_position is not None:
+            pre_drop = consolidate_header_actions(pre_drop_actions)
+
+        batches: List[StateFunctionBatch] = []
+        for position, (__, rule) in enumerate(local_rules):
+            if rule is None or not rule.sf_batch:
+                continue
+            if drop_position is not None and position > drop_position:
+                continue  # NFs after the dropper never saw the packet
+            batches.append(rule.sf_batch)
+
+        if self.enable_parallelism:
+            schedule = build_schedule(batches)
+        else:
+            schedule = ParallelSchedule([[batch] for batch in batches])
+
+        nf_names = [name for name, __ in local_rules]
+        new_rule = GlobalRule(
+            fid,
+            consolidated,
+            schedule,
+            nf_names,
+            raw_actions=actions,
+            pre_drop=pre_drop,
+            dropper=dropper,
+        )
+        existing = self._rules.get(fid)
+        if existing is not None:
+            new_rule.version = existing.version + 1
+            new_rule.hits = existing.hits
+            self.reconsolidations += 1
+        self.consolidations += 1
+        self._rules[fid] = new_rule
+        self._rules.move_to_end(fid)
+        self._enforce_capacity(keep_fid=fid)
+        return new_rule
+
+    def _enforce_capacity(self, keep_fid: int) -> None:
+        if self.capacity is None:
+            return
+        while len(self._rules) > self.capacity:
+            victim_fid = next(iter(self._rules))
+            if victim_fid == keep_fid:
+                # Never evict the rule just installed.
+                self._rules.move_to_end(victim_fid)
+                victim_fid = next(iter(self._rules))
+            del self._rules[victim_fid]
+            self.evictions += 1
+            if self.on_evict is not None:
+                self.on_evict(victim_fid)
+
+    def delete_flow(self, fid: int) -> bool:
+        """FIN/RST cleanup (§VI-B): drop the rule, free the memory."""
+        return self._rules.pop(fid, None) is not None
+
+    def flows(self) -> Tuple[int, ...]:
+        return tuple(self._rules)
+
+    def __repr__(self) -> str:
+        return f"<GlobalMAT {len(self._rules)} rules, {self.consolidations} consolidations>"

@@ -1,0 +1,120 @@
+"""Equivalence verification as a library feature.
+
+The paper's §VII-C methodology — inject packets, compare outputs and
+state between the original chain and SpeedyBox — is how NF authors gain
+confidence in their instrumentation.  :func:`verify_equivalence` packages
+it: give it a chain *factory* (fresh NF instances per run, since NFs hold
+state) and a packet list, and it runs both configurations in lockstep,
+returning a :class:`VerificationReport` of every divergence.
+
+Typical use, from an NF author's test suite::
+
+    report = verify_equivalence(lambda: [MyNF(), Monitor("m")], packets)
+    assert report.equivalent, report.summary()
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core.framework import ServiceChain, SpeedyBox
+from repro.net.packet import Packet
+from repro.nf.base import NetworkFunction
+
+ChainFactory = Callable[[], Sequence[NetworkFunction]]
+Intervention = Callable[[ServiceChain, SpeedyBox], None]
+
+
+@dataclass
+class Divergence:
+    """One observed difference between the two configurations."""
+
+    index: int
+    kind: str  # "drop" | "bytes"
+    detail: str
+
+    def __str__(self) -> str:
+        return f"packet {self.index}: {self.kind} mismatch — {self.detail}"
+
+
+@dataclass
+class VerificationReport:
+    """Outcome of a lockstep equivalence run."""
+
+    packets: int
+    divergences: List[Divergence] = field(default_factory=list)
+    fast_packets: int = 0
+    slow_packets: int = 0
+    events_triggered: int = 0
+
+    @property
+    def equivalent(self) -> bool:
+        return not self.divergences
+
+    @property
+    def fast_path_rate(self) -> float:
+        total = self.fast_packets + self.slow_packets
+        return self.fast_packets / total if total else 0.0
+
+    def summary(self) -> str:
+        verdict = "EQUIVALENT" if self.equivalent else f"{len(self.divergences)} DIVERGENCES"
+        lines = [
+            f"{verdict} over {self.packets} packets "
+            f"(fast path {100 * self.fast_path_rate:.1f}%, "
+            f"{self.events_triggered} events)"
+        ]
+        lines.extend(str(divergence) for divergence in self.divergences[:10])
+        if len(self.divergences) > 10:
+            lines.append(f"... and {len(self.divergences) - 10} more")
+        return "\n".join(lines)
+
+
+def verify_equivalence(
+    chain_factory: ChainFactory,
+    packets: Sequence[Packet],
+    interventions: Optional[Dict[int, Intervention]] = None,
+    speedybox_kwargs: Optional[dict] = None,
+) -> VerificationReport:
+    """Run baseline and SpeedyBox over ``packets`` and diff the outputs.
+
+    ``interventions[i]`` (if given) runs against both runtimes right
+    before packet ``i`` — the hook for mid-stream scenario changes such
+    as failing a load-balancer backend.
+
+    Only packet-level effects are compared (drop decisions and wire
+    bytes); NF-internal state is the author's to assert on the returned
+    runtimes' NFs — which is why the factory pattern is required.
+    """
+    interventions = interventions or {}
+    baseline = ServiceChain(chain_factory())
+    speedybox = SpeedyBox(chain_factory(), **(speedybox_kwargs or {}))
+
+    report = VerificationReport(packets=len(packets))
+    base_stream = [packet.clone() for packet in packets]
+    sbox_stream = [packet.clone() for packet in packets]
+
+    for index, (base_pkt, sbox_pkt) in enumerate(zip(base_stream, sbox_stream)):
+        if index in interventions:
+            interventions[index](baseline, speedybox)
+        baseline.process(base_pkt)
+        speedybox.process(sbox_pkt)
+
+        if base_pkt.dropped != sbox_pkt.dropped:
+            report.divergences.append(
+                Divergence(
+                    index,
+                    "drop",
+                    f"baseline={'dropped' if base_pkt.dropped else 'forwarded'}, "
+                    f"speedybox={'dropped' if sbox_pkt.dropped else 'forwarded'}",
+                )
+            )
+        elif not base_pkt.dropped and base_pkt.serialize() != sbox_pkt.serialize():
+            report.divergences.append(
+                Divergence(index, "bytes", f"{base_pkt!r} vs {sbox_pkt!r}")
+            )
+
+    report.fast_packets = speedybox.fast_packets
+    report.slow_packets = speedybox.slow_packets
+    report.events_triggered = speedybox.event_table.total_triggered
+    return report

@@ -1,0 +1,87 @@
+"""IPv4 and MAC address helpers.
+
+Addresses are stored as integers internally (cheap to hash and compare,
+like the fixed-width fields in a real packet descriptor) and converted to
+dotted-quad / colon-hex strings only at the API surface.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Union
+
+_IPV4_RE = re.compile(r"^(\d{1,3})\.(\d{1,3})\.(\d{1,3})\.(\d{1,3})$")
+
+
+def is_valid_ipv4(text: str) -> bool:
+    """True if ``text`` is a dotted-quad IPv4 address."""
+    match = _IPV4_RE.match(text)
+    if not match:
+        return False
+    return all(0 <= int(octet) <= 255 for octet in match.groups())
+
+
+def ip_to_int(address: Union[str, int]) -> int:
+    """Convert a dotted-quad string (or pass through an int) to a uint32."""
+    if isinstance(address, int):
+        if not 0 <= address <= 0xFFFFFFFF:
+            raise ValueError(f"IPv4 integer out of range: {address!r}")
+        return address
+    if not is_valid_ipv4(address):
+        raise ValueError(f"invalid IPv4 address: {address!r}")
+    octets = [int(part) for part in address.split(".")]
+    return (octets[0] << 24) | (octets[1] << 16) | (octets[2] << 8) | octets[3]
+
+
+def ip_to_str(value: int) -> str:
+    """Convert a uint32 to a dotted-quad string."""
+    if not 0 <= value <= 0xFFFFFFFF:
+        raise ValueError(f"IPv4 integer out of range: {value!r}")
+    return ".".join(str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+
+class MACAddress:
+    """A 48-bit MAC address, stored as an int, rendered as colon-hex."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, address: Union[str, int]):
+        if isinstance(address, int):
+            if not 0 <= address <= 0xFFFFFFFFFFFF:
+                raise ValueError(f"MAC integer out of range: {address!r}")
+            self.value = address
+            return
+        parts = address.split(":")
+        if len(parts) != 6 or not all(re.fullmatch(r"[0-9a-fA-F]{1,2}", p) for p in parts):
+            raise ValueError(f"invalid MAC address: {address!r}")
+        value = 0
+        for part in parts:
+            value = (value << 8) | int(part, 16)
+        self.value = value
+
+    def __str__(self) -> str:
+        return ":".join(f"{(self.value >> shift) & 0xFF:02x}" for shift in range(40, -8, -8))
+
+    def __repr__(self) -> str:
+        return f"MACAddress('{self}')"
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, MACAddress):
+            return self.value == other.value
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self.value)
+
+    def to_bytes(self) -> bytes:
+        return self.value.to_bytes(6, "big")
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "MACAddress":
+        if len(data) != 6:
+            raise ValueError(f"MAC address needs 6 bytes, got {len(data)}")
+        return cls(int.from_bytes(data, "big"))
+
+
+BROADCAST_MAC = MACAddress("ff:ff:ff:ff:ff:ff")
+ZERO_MAC = MACAddress(0)

@@ -1,0 +1,302 @@
+"""The packet model.
+
+A :class:`Packet` mirrors a DPDK mbuf + descriptor: Ethernet, IPv4, an
+optional stack of encapsulation headers (AH/VXLAN, pushed between L3 and
+L4 as the VPN/gateway NFs do), an L4 header (TCP or UDP), a payload, and a
+metadata dict.  SpeedyBox attaches the FID as packet metadata (§VI-B);
+dropping a packet sets the descriptor's ``dropped`` flag ("set the packet
+descriptor to nil", §IV-A1).
+
+:class:`PacketField` names the mutable header fields that MODIFY header
+actions operate on; it provides uniform read/write accessors so the
+consolidation engine can treat heterogeneous fields uniformly.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Dict, List, Optional, Union
+
+from repro.net.addresses import MACAddress, ip_to_int
+from repro.net.flow import FiveTuple
+from repro.net.headers import (
+    AuthenticationHeader,
+    EthernetHeader,
+    Header,
+    IPv4Header,
+    PROTO_AH,
+    TCPHeader,
+    UDPHeader,
+    VxlanHeader,
+)
+
+
+class PacketField(enum.Enum):
+    """Header fields addressable by MODIFY actions (§IV-A1, §V-B).
+
+    The paper distinguishes "main" routing fields (IPs and ports, part of
+    NF logic) from "remaining" fields fixed up at the end of consolidation
+    (checksum, TTL, MAC addresses); ``is_finalisation_field`` captures
+    that split.
+    """
+
+    SRC_MAC = "src_mac"
+    DST_MAC = "dst_mac"
+    SRC_IP = "src_ip"
+    DST_IP = "dst_ip"
+    TTL = "ttl"
+    DSCP = "dscp"
+    SRC_PORT = "src_port"
+    DST_PORT = "dst_port"
+
+    @property
+    def is_finalisation_field(self) -> bool:
+        """Fields the paper modifies "at the end of the consolidation" (§V-B)."""
+        return self in (PacketField.SRC_MAC, PacketField.DST_MAC, PacketField.TTL, PacketField.DSCP)
+
+    def read(self, packet: "Packet") -> int:
+        return _FIELD_READERS[self](packet)
+
+    def write(self, packet: "Packet", value: int) -> None:
+        _FIELD_WRITERS[self](packet, value)
+
+
+def _require_l4(packet: "Packet"):
+    if packet.l4 is None:
+        raise ValueError("packet has no L4 header")
+    return packet.l4
+
+
+_FIELD_READERS = {
+    PacketField.SRC_MAC: lambda p: p.eth.src_mac.value,
+    PacketField.DST_MAC: lambda p: p.eth.dst_mac.value,
+    PacketField.SRC_IP: lambda p: p.ip.src_ip,
+    PacketField.DST_IP: lambda p: p.ip.dst_ip,
+    PacketField.TTL: lambda p: p.ip.ttl,
+    PacketField.DSCP: lambda p: p.ip.dscp,
+    PacketField.SRC_PORT: lambda p: _require_l4(p).src_port,
+    PacketField.DST_PORT: lambda p: _require_l4(p).dst_port,
+}
+
+
+def _write_src_port(packet: "Packet", value: int) -> None:
+    _require_l4(packet).src_port = value
+
+
+def _write_dst_port(packet: "Packet", value: int) -> None:
+    _require_l4(packet).dst_port = value
+
+
+def _write_src_mac(packet: "Packet", value: int) -> None:
+    packet.eth.src_mac = MACAddress(value)
+
+
+def _write_dst_mac(packet: "Packet", value: int) -> None:
+    packet.eth.dst_mac = MACAddress(value)
+
+
+def _write_src_ip(packet: "Packet", value: int) -> None:
+    packet.ip.src_ip = ip_to_int(value)
+
+
+def _write_dst_ip(packet: "Packet", value: int) -> None:
+    packet.ip.dst_ip = ip_to_int(value)
+
+
+def _write_ttl(packet: "Packet", value: int) -> None:
+    if not 0 <= value <= 255:
+        raise ValueError(f"TTL out of range: {value!r}")
+    packet.ip.ttl = value
+
+
+def _write_dscp(packet: "Packet", value: int) -> None:
+    if not 0 <= value <= 63:
+        raise ValueError(f"DSCP out of range: {value!r}")
+    packet.ip.dscp = value
+
+
+_FIELD_WRITERS = {
+    PacketField.SRC_MAC: _write_src_mac,
+    PacketField.DST_MAC: _write_dst_mac,
+    PacketField.SRC_IP: _write_src_ip,
+    PacketField.DST_IP: _write_dst_ip,
+    PacketField.TTL: _write_ttl,
+    PacketField.DSCP: _write_dscp,
+    PacketField.SRC_PORT: _write_src_port,
+    PacketField.DST_PORT: _write_dst_port,
+}
+
+
+class Packet:
+    """A packet descriptor plus its buffer.
+
+    ``encaps`` is a LIFO stack of encapsulation headers: ``push_encap``
+    appends, ``pop_encap`` removes the most recent — matching the stack
+    model the consolidation algorithm uses for ENCAP/DECAP (§V-B).
+    """
+
+    __slots__ = ("eth", "ip", "l4", "encaps", "payload", "metadata", "dropped", "timestamp_ns")
+
+    def __init__(
+        self,
+        eth: Optional[EthernetHeader] = None,
+        ip: Optional[IPv4Header] = None,
+        l4: Optional[Union[TCPHeader, UDPHeader]] = None,
+        payload: bytes = b"",
+        timestamp_ns: float = 0.0,
+    ):
+        if eth is None:
+            eth = EthernetHeader(MACAddress("02:00:00:00:00:02"), MACAddress("02:00:00:00:00:01"))
+        if ip is None:
+            ip = IPv4Header("10.0.0.1", "10.0.0.2")
+        self.eth = eth
+        self.ip = ip
+        self.l4 = l4
+        self.encaps: List[Header] = []
+        self.payload = payload
+        self.metadata: Dict[str, Any] = {}
+        self.dropped = False
+        self.timestamp_ns = timestamp_ns
+
+    # -- construction helpers ----------------------------------------------
+
+    @classmethod
+    def from_five_tuple(
+        cls,
+        five_tuple: FiveTuple,
+        payload: bytes = b"",
+        tcp_flags: int = 0x10,
+        seq: int = 0,
+        timestamp_ns: float = 0.0,
+    ) -> "Packet":
+        """Build a TCP or UDP packet whose headers realise ``five_tuple``."""
+        from repro.net.flow import PROTO_TCP, PROTO_UDP
+
+        ip = IPv4Header(five_tuple.src_ip, five_tuple.dst_ip, protocol=five_tuple.protocol)
+        if five_tuple.protocol == PROTO_TCP:
+            l4: Union[TCPHeader, UDPHeader] = TCPHeader(
+                five_tuple.src_port, five_tuple.dst_port, seq=seq, flags=tcp_flags
+            )
+        elif five_tuple.protocol == PROTO_UDP:
+            l4 = UDPHeader(five_tuple.src_port, five_tuple.dst_port, length=8 + len(payload))
+        else:
+            raise ValueError(f"unsupported protocol for packet synthesis: {five_tuple.protocol}")
+        packet = cls(ip=ip, l4=l4, payload=payload, timestamp_ns=timestamp_ns)
+        packet.finalize()
+        return packet
+
+    # -- flow identity -----------------------------------------------------
+
+    def five_tuple(self) -> FiveTuple:
+        """The current five-tuple (reflects any header rewrites so far)."""
+        l4 = _require_l4(self)
+        return FiveTuple(self.ip.src_ip, self.ip.dst_ip, l4.src_port, l4.dst_port, self.ip.protocol)
+
+    # -- encapsulation -----------------------------------------------------
+
+    def push_encap(self, header: Header) -> None:
+        """Push an encapsulation header (innermost = most recently pushed)."""
+        self.encaps.append(header)
+
+    def pop_encap(self) -> Header:
+        """Pop the most recently pushed encapsulation header."""
+        if not self.encaps:
+            raise ValueError("decap on a packet with no encapsulation headers")
+        return self.encaps.pop()
+
+    def peek_encap(self) -> Optional[Header]:
+        return self.encaps[-1] if self.encaps else None
+
+    # -- descriptor operations ----------------------------------------------
+
+    def drop(self) -> None:
+        """Mark the descriptor dropped (the §IV-A1 'set descriptor to nil')."""
+        self.dropped = True
+
+    def clone(self) -> "Packet":
+        """Deep copy headers, payload and metadata (not shared with original)."""
+        copy = Packet(
+            eth=self.eth.clone(),
+            ip=self.ip.clone(),
+            l4=self.l4.clone() if self.l4 is not None else None,
+            payload=self.payload,
+            timestamp_ns=self.timestamp_ns,
+        )
+        copy.encaps = [header.clone() for header in self.encaps]
+        copy.metadata = dict(self.metadata)
+        copy.dropped = self.dropped
+        return copy
+
+    # -- sizes, serialisation -----------------------------------------------
+
+    def byte_length(self) -> int:
+        total = self.eth.byte_length() + self.ip.byte_length()
+        total += sum(header.byte_length() for header in self.encaps)
+        if self.l4 is not None:
+            total += self.l4.byte_length()
+        return total + len(self.payload)
+
+    def finalize(self) -> None:
+        """Fix up derived fields: IP total length, protocol chain, checksums."""
+        inner_len = len(self.payload)
+        if self.l4 is not None:
+            inner_len += self.l4.byte_length()
+            if isinstance(self.l4, UDPHeader):
+                self.l4.length = self.l4.byte_length() + len(self.payload)
+        encap_len = sum(header.byte_length() for header in self.encaps)
+        self.ip.total_length = self.ip.byte_length() + encap_len + inner_len
+        if self.encaps and isinstance(self.encaps[0], AuthenticationHeader):
+            self.ip.protocol = PROTO_AH
+        self.ip.refresh_checksum()
+
+    def serialize(self) -> bytes:
+        """Wire bytes: Ethernet | IPv4 | encaps (outermost first) | L4 | payload."""
+        self.finalize()
+        parts = [self.eth.pack(), self.ip.pack()]
+        parts.extend(header.pack() for header in self.encaps)
+        if self.l4 is not None:
+            parts.append(self.l4.pack())
+        parts.append(self.payload)
+        return b"".join(parts)
+
+    @classmethod
+    def parse(cls, data: bytes) -> "Packet":
+        """Parse wire bytes back into a packet (inverse of :meth:`serialize`).
+
+        Encapsulation headers are recognised structurally: an AH directly
+        after IPv4 (protocol 51), or a VXLAN header flagged by metadata is
+        out of scope for raw parsing — only AH round-trips from bytes.
+        """
+        eth = EthernetHeader.unpack(data)
+        offset = eth.byte_length()
+        ip = IPv4Header.unpack(data[offset:])
+        offset += ip.byte_length()
+        packet = cls(eth=eth, ip=ip)
+        protocol = ip.protocol
+        while protocol == PROTO_AH:
+            ah = AuthenticationHeader.unpack(data[offset:])
+            offset += ah.byte_length()
+            packet.push_encap(ah)
+            protocol = ah.next_header
+        from repro.net.flow import PROTO_TCP, PROTO_UDP
+
+        if protocol == PROTO_TCP:
+            packet.l4 = TCPHeader.unpack(data[offset:])
+            offset += packet.l4.byte_length()
+        elif protocol == PROTO_UDP:
+            packet.l4 = UDPHeader.unpack(data[offset:])
+            offset += packet.l4.byte_length()
+        packet.payload = data[offset:]
+        return packet
+
+    def __repr__(self) -> str:
+        state = " DROPPED" if self.dropped else ""
+        encaps = f" +{len(self.encaps)} encap" if self.encaps else ""
+        try:
+            flow = str(self.five_tuple())
+        except ValueError:
+            flow = "<no L4>"
+        return f"<Packet {flow} len={self.byte_length()}{encaps}{state}>"
+
+
+__all__ = ["Packet", "PacketField", "VxlanHeader"]

@@ -1,0 +1,67 @@
+"""Base class for network functions.
+
+An NF implements :meth:`NetworkFunction.process`, which *both* performs
+the NF's real behaviour on the packet and — when handed an instrumented
+API — records that behaviour in the Local MAT.  The same code path runs in
+baseline mode with a :class:`~repro.core.local_mat.NullInstrumentationAPI`
+whose recording calls are no-ops, mirroring how the paper adds a handful
+of API lines to existing NF code without changing its logic (§IV-B).
+
+Cost accounting: NFs charge the primitive operations they perform to
+``self.meter``; the platform points ``meter`` at a fresh
+:class:`~repro.platform.costs.CycleMeter` per packet (or per stage) and
+converts to cycles afterwards.  Functional-only callers leave the default
+null meter in place.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.local_mat import InstrumentationAPI
+from repro.net.packet import Packet
+from repro.platform.costs import CycleMeter, NULL_METER, Operation
+
+
+class NetworkFunction:
+    """Abstract NF: subclass and implement :meth:`process`."""
+
+    #: Per-packet state functions this NF contributes (None = varies).
+    def __init__(self, name: str):
+        self.name = name
+        self.meter: CycleMeter = NULL_METER
+        self.packets_processed = 0
+
+    def charge(self, operation: Operation, times: float = 1.0) -> None:
+        """Charge primitive work to the currently attached meter."""
+        self.meter.charge(operation, times)
+
+    def ingress(self, packet: Packet) -> None:
+        """Common per-packet ingress work: every NF parses the packet.
+
+        This repeated parse is exactly the R1 redundancy the paper calls
+        out — each NF in the original chain pays it, while the SpeedyBox
+        fast path parses once at the classifier.
+        """
+        self.packets_processed += 1
+        self.charge(Operation.PARSE)
+
+    def process(self, packet: Packet, api: InstrumentationAPI) -> None:
+        """Process one packet; record behaviour through ``api``.
+
+        Implementations must (1) behave identically whether ``api`` is
+        recording or not, and (2) only *record* behaviour via ``api``,
+        never change it.
+        """
+        raise NotImplementedError
+
+    def handle_flow_close(self, packet: Packet) -> None:
+        """Hook: called when the classifier sees the flow's FIN/RST."""
+        return None
+
+    def reset(self) -> None:
+        """Clear all per-flow state (fresh run in benchmarks)."""
+        self.packets_processed = 0
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name}>"

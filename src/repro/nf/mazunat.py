@@ -1,0 +1,144 @@
+"""MazuNAT: source NAT in the style of Click's mazu-nat.click (§VI-C).
+
+Translates the IP and port of flows leaving an internal subnet: the
+source address is rewritten to the NAT's external IP and the source port
+to a freshly allocated external port.  Return traffic addressed to an
+allocated (external-IP, port) pair is rewritten back.  ICMP handling is
+omitted, matching the paper ("we omit irrelevant functionalities such as
+ICMP packet handling").
+
+Per the paper's Observation 1, once a mapping is allocated for a flow the
+same MODIFY applies to all its packets — MazuNAT records exactly that in
+its Local MAT.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set, Tuple
+
+from repro.core.actions import Modify
+from repro.core.local_mat import InstrumentationAPI
+from repro.net.addresses import ip_to_int
+from repro.net.flow import FiveTuple
+from repro.net.packet import Packet, PacketField
+from repro.nf.base import NetworkFunction
+from repro.platform.costs import Operation
+
+
+class NatPortExhausted(RuntimeError):
+    """No free external ports remain."""
+
+
+class MazuNAT(NetworkFunction):
+    """Source NAT with sequential port allocation and a free list."""
+
+    def __init__(
+        self,
+        name: str = "mazunat",
+        external_ip: str = "203.0.113.1",
+        internal_prefix: str = "10.0.0.0/8",
+        port_range: Tuple[int, int] = (10000, 60000),
+    ):
+        super().__init__(name)
+        self.external_ip = ip_to_int(external_ip)
+        prefix, __, length = internal_prefix.partition("/")
+        self._internal_base = ip_to_int(prefix)
+        self._internal_len = int(length) if length else 32
+        self.port_lo, self.port_hi = port_range
+        if self.port_lo > self.port_hi:
+            raise ValueError(f"invalid port range: {port_range!r}")
+        self._next_port = self.port_lo
+        self._free_ports: Set[int] = set()
+        #: internal five-tuple -> (external ip, external port)
+        self.mappings: Dict[FiveTuple, Tuple[int, int]] = {}
+        #: (external ip, external port, proto) -> internal five-tuple
+        self.reverse: Dict[Tuple[int, int, int], FiveTuple] = {}
+        self.translations = 0
+
+    # -- address-space helpers ----------------------------------------------
+
+    def is_internal(self, address: int) -> bool:
+        if self._internal_len == 0:
+            return True
+        mask = (0xFFFFFFFF << (32 - self._internal_len)) & 0xFFFFFFFF
+        return (address & mask) == (self._internal_base & mask)
+
+    def allocate_port(self) -> int:
+        if self._free_ports:
+            return self._free_ports.pop()
+        if self._next_port > self.port_hi:
+            raise NatPortExhausted(
+                f"{self.name}: external port pool {self.port_lo}-{self.port_hi} exhausted"
+            )
+        port = self._next_port
+        self._next_port += 1
+        return port
+
+    def release_mapping(self, flow: FiveTuple) -> bool:
+        mapping = self.mappings.pop(flow, None)
+        if mapping is None:
+            return False
+        ext_ip, ext_port = mapping
+        self.reverse.pop((ext_ip, ext_port, flow.protocol), None)
+        self._free_ports.add(ext_port)
+        return True
+
+    # -- packet processing ---------------------------------------------------
+
+    def _outbound_action(self, flow: FiveTuple) -> Modify:
+        mapping = self.mappings.get(flow)
+        if mapping is None:
+            self.charge(Operation.NAT_PORT_ALLOC)
+            mapping = (self.external_ip, self.allocate_port())
+            self.mappings[flow] = mapping
+            self.reverse[(mapping[0], mapping[1], flow.protocol)] = flow
+        ext_ip, ext_port = mapping
+        return Modify.set(src_ip=ext_ip, src_port=ext_port)
+
+    def _inbound_action(self, flow: FiveTuple) -> Optional[Modify]:
+        internal = self.reverse.get((flow.dst_ip, flow.dst_port, flow.protocol))
+        if internal is None:
+            return None
+        return Modify.set(dst_ip=internal.src_ip, dst_port=internal.src_port)
+
+    def process(self, packet: Packet, api: InstrumentationAPI) -> None:
+        self.ingress(packet)
+        flow = packet.five_tuple()
+        fid = api.nf_extract_fid(packet)
+
+        self.charge(Operation.EXACT_MATCH_LOOKUP)
+        if self.is_internal(flow.src_ip):
+            action: Optional[Modify] = self._outbound_action(flow)
+        else:
+            action = self._inbound_action(flow)
+
+        if action is None:
+            # Unknown inbound traffic: a real MazuNAT drops it; we forward
+            # to keep chains composable and record nothing but FORWARD.
+            from repro.core.actions import Forward
+
+            api.add_header_action(fid, Forward())
+            return
+
+        self.translations += 1
+        self.charge(Operation.FIELD_WRITE, len(action.ops))
+        self.charge(Operation.CHECKSUM_UPDATE)
+        action.apply(packet)
+        api.add_header_action(fid, action)
+
+    def handle_flow_close(self, packet: Packet) -> None:
+        flow = packet.five_tuple()
+        if not self.release_mapping(flow):
+            # Fast-path FIN packets already carry the rewritten header;
+            # map back through the reverse table.
+            internal = self.reverse.get((flow.src_ip, flow.src_port, flow.protocol))
+            if internal is not None:
+                self.release_mapping(internal)
+
+    def reset(self) -> None:
+        super().reset()
+        self.mappings.clear()
+        self.reverse.clear()
+        self._free_ports.clear()
+        self._next_port = self.port_lo
+        self.translations = 0

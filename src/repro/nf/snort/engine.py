@@ -1,0 +1,156 @@
+"""The Snort detection engine.
+
+Mirrors the structure the paper relies on (Observation 1): when a flow's
+initial packet arrives, the engine *assigns a rule-matching function* for
+the flow — the subset of rules whose header part covers the five-tuple,
+compiled into a :class:`FlowMatcher` — and the same matcher is invoked
+for every subsequent packet.
+
+Payload evaluation uses an Aho–Corasick prescan shared across all rules:
+one pass over the payload yields the set of content patterns present;
+a rule fully matches when all of its contents were found and its pcre
+(if any) matches.  ``pass`` rules suppress ``alert``/``log`` verdicts for
+packets they match, covering the three conditional branches of §VII-C1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.net.flow import FiveTuple
+from repro.nf.snort.aho_corasick import MultiPatternIndex
+from repro.nf.snort.rules import RuleAction, SnortRule
+
+
+@dataclass
+class InspectionResult:
+    """Outcome of inspecting one payload for one flow."""
+
+    alerts: List[SnortRule] = field(default_factory=list)
+    logs: List[SnortRule] = field(default_factory=list)
+    passed: bool = False  # a pass rule matched and suppressed the rest
+
+    @property
+    def verdict(self) -> str:
+        if self.passed:
+            return "pass"
+        if self.alerts:
+            return "alert"
+        if self.logs:
+            return "log"
+        return "clean"
+
+
+class FlowMatcher:
+    """The per-flow rule-matching function Snort assigns on flow setup.
+
+    Holds the flow's *flowbits* — per-flow cross-packet state mutated by
+    matching rules — which is exactly the "packet processing updates
+    states and states decide packet data path" coupling of the paper's
+    Challenge 2: the matcher is stateful, and SpeedyBox carries it to the
+    fast path as a recorded state function.
+    """
+
+    __slots__ = ("flow", "candidates", "flowbits", "_engine")
+
+    def __init__(self, flow: FiveTuple, candidates: Sequence[SnortRule], engine: "DetectionEngine"):
+        self.flow = flow
+        self.candidates: Tuple[SnortRule, ...] = tuple(candidates)
+        self.flowbits: set = set()
+        self._engine = engine
+
+    def __len__(self) -> int:
+        return len(self.candidates)
+
+    def inspect(self, payload: bytes) -> InspectionResult:
+        """Evaluate all candidate rules against one payload, in rule order.
+
+        A matching rule's flowbits mutations apply immediately, so later
+        rules in the same packet observe them.  A matching ``pass`` rule
+        short-circuits the packet entirely (Snort's pass precedence).
+        """
+        matched_keys = self._engine.index.matched_keys(payload) if payload else set()
+        result = InspectionResult()
+
+        # Pass precedence: a pass rule matching this packet exempts it.
+        for rule in self.candidates:
+            if rule.action is not RuleAction.PASS:
+                continue
+            if rule.flowbits_allow(frozenset(self.flowbits)) and self._engine.rule_payload_matches(
+                rule, payload, matched_keys
+            ):
+                result.passed = True
+                return result
+
+        for rule in self.candidates:
+            if rule.action is RuleAction.PASS:
+                continue
+            if not rule.flowbits_allow(frozenset(self.flowbits)):
+                continue
+            if not self._engine.rule_payload_matches(rule, payload, matched_keys):
+                continue
+            rule.flowbits_apply(self.flowbits)
+            if rule.suppresses_output:
+                continue
+            if rule.action is RuleAction.ALERT:
+                result.alerts.append(rule)
+            elif rule.action is RuleAction.LOG:
+                result.logs.append(rule)
+        return result
+
+    def __repr__(self) -> str:
+        return f"<FlowMatcher {self.flow} ({len(self.candidates)} rules)>"
+
+
+class DetectionEngine:
+    """Rule set + shared multi-pattern index + per-flow matcher factory."""
+
+    def __init__(self, rules: Sequence[SnortRule]):
+        self.rules: List[SnortRule] = list(rules)
+        self.index = MultiPatternIndex()
+        #: rule id -> keys of its content patterns in the shared index
+        self._content_keys: Dict[int, Set[int]] = {}
+        for rule_id, rule in enumerate(self.rules):
+            keys = {
+                self.index.add(content.pattern, nocase=content.nocase)
+                for content in rule.contents
+            }
+            self._content_keys[rule_id] = keys
+        self.index.build()
+
+    def __len__(self) -> int:
+        return len(self.rules)
+
+    def rule_payload_matches(self, rule: SnortRule, payload: bytes, matched_keys: Set[int]) -> bool:
+        """Full payload evaluation given the prescan results.
+
+        The Aho-Corasick prescan is a necessary condition (pattern occurs
+        *somewhere*); contents with offset/depth modifiers are then
+        verified positionally, exactly like Snort's own fast-pattern +
+        rule-evaluation split.
+        """
+        keys = self._keys_for(rule)
+        if not keys.issubset(matched_keys):
+            return False
+        if any(
+            content.offset or content.depth is not None or content.is_relative
+            for content in rule.contents
+        ):
+            # Positional/relative constraints: full in-order evaluation.
+            return rule.payload_matches(payload)
+        if rule.pcre is not None and rule.pcre.search(payload) is None:
+            return False
+        return True
+
+    def _keys_for(self, rule: SnortRule) -> Set[int]:
+        cache = getattr(self, "_id_cache", None)
+        if cache is None:
+            cache = {id(r): self._content_keys[i] for i, r in enumerate(self.rules)}
+            self._id_cache = cache
+        return cache[id(rule)]
+
+    def assign_flow_matcher(self, flow: FiveTuple) -> FlowMatcher:
+        """Header-match every rule once; compile the flow's matcher."""
+        candidates = [rule for rule in self.rules if rule.header_matches(flow)]
+        return FlowMatcher(flow, candidates, self)

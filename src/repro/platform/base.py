@@ -1,0 +1,365 @@
+"""Platform base: turning cycle meters into time, and timing into load.
+
+A platform wraps either the baseline :class:`~repro.core.framework.ServiceChain`
+or a :class:`~repro.core.framework.SpeedyBox` runtime and provides two
+measurement modes:
+
+- :meth:`Platform.process` — one packet at a time, unloaded: returns a
+  :class:`PacketOutcome` with *work* cycles (total CPU spent, what the
+  paper's "CPU cycle per packet" figures report) and *latency* cycles
+  (wall-clock through the chain, where parallel state-function waves cost
+  max-over-wave instead of sum).
+- :meth:`Platform.run_load` — drive a whole packet sequence through the
+  discrete-event engine to measure throughput and loaded latency.  The
+  run is two-phase: packets are first processed functionally (collecting
+  per-stage service times), then replayed temporally through the
+  platform's core/pipeline topology.
+
+Subclasses define the transport costs and the stage topology.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.core.framework import PathTaken, ProcessReport, ServiceChain, SpeedyBox
+from repro.net.packet import Packet
+from repro.platform.costs import CostModel, CycleMeter, Operation
+from repro.sim import Engine, Get, Put, Store, Timeout
+
+
+@dataclass
+class PlatformConfig:
+    """Knobs shared by both platforms."""
+
+    cost_model: CostModel = field(default_factory=CostModel)
+    #: worker cores available for parallel state-function waves
+    worker_cores: int = 3
+    #: ring capacity between pipeline stages (ONVM)
+    ring_capacity: int = 4096
+    #: DPDK-style RX/TX batching: driver costs amortise over the batch.
+    #: 1 (default) = per-packet I/O; 32 is the typical DPDK burst.
+    batch_size: int = 1
+
+    def __post_init__(self):
+        if self.batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {self.batch_size!r}")
+
+
+@dataclass
+class PacketOutcome:
+    """The timing result for one packet in unloaded mode.
+
+    Three cycle counts, because the platforms are multi-core:
+
+    - ``work_cycles`` — total CPU cycles spent anywhere (main core +
+      workers + fork/join overhead);
+    - ``latency_cycles`` — wall-clock through the chain (parallel waves
+      cost max-over-wave, not sum);
+    - ``main_core_cycles`` — cycles *executed* on the dispatching core
+      (parallel waves contribute only their fork/join/sync overhead;
+      the batches themselves run on worker cores).  This is what the
+      paper's per-packet CPU counters on the chain core report.
+    """
+
+    packet: Packet
+    report: ProcessReport
+    work_cycles: float
+    latency_cycles: float
+    main_core_cycles: float
+    latency_ns: float
+    dropped: bool
+
+    @property
+    def path(self) -> PathTaken:
+        return self.report.path
+
+    @property
+    def latency_us(self) -> float:
+        return self.latency_ns / 1000.0
+
+
+@dataclass
+class LoadResult:
+    """The result of a loaded run (throughput mode)."""
+
+    offered: int
+    delivered: int
+    dropped: int
+    makespan_ns: float
+    latencies_ns: List[float]
+
+    @property
+    def throughput_mpps(self) -> float:
+        if self.makespan_ns <= 0:
+            return 0.0
+        return (self.delivered + self.dropped) / (self.makespan_ns / 1000.0)
+
+    def latency_percentile(self, fraction: float) -> float:
+        if not self.latencies_ns:
+            return 0.0
+        ordered = sorted(self.latencies_ns)
+        index = min(len(ordered) - 1, max(0, int(fraction * len(ordered))))
+        return ordered[index]
+
+
+#: A packet's temporal footprint: per-hop (stage_index, service_ns).
+#: ``stage_index=None`` marks a pure delay with unbounded parallelism —
+#: e.g. worker cores running a packet's SF wave while the ONVM manager
+#: moves on to the next packet.
+StagePlan = List[Tuple[Optional[int], float]]
+
+
+def makespan_with_workers(durations: Sequence[float], workers: int) -> float:
+    """Greedy list-scheduling makespan of a parallel wave on N workers.
+
+    Longest-processing-time-first onto the earliest-finishing worker —
+    how a real fork/join pool would behave for a handful of batches.
+    """
+    if not durations:
+        return 0.0
+    if workers <= 1 or len(durations) == 1:
+        return sum(durations)
+    finish = [0.0] * min(workers, len(durations))
+    for duration in sorted(durations, reverse=True):
+        slot = finish.index(min(finish))
+        finish[slot] += duration
+    return max(finish)
+
+
+@dataclass
+class ChainSetup:
+    """Descriptor for constructing a platform run (used by benchmarks)."""
+
+    name: str
+    runtime: Union[ServiceChain, SpeedyBox]
+
+    @property
+    def with_speedybox(self) -> bool:
+        return isinstance(self.runtime, SpeedyBox)
+
+
+class Platform:
+    """Abstract platform."""
+
+    name = "platform"
+
+    def __init__(
+        self,
+        runtime: Union[ServiceChain, SpeedyBox],
+        config: Optional[PlatformConfig] = None,
+    ):
+        self.runtime = runtime
+        self.config = config or PlatformConfig()
+        self.packets = 0
+
+    @property
+    def costs(self) -> CostModel:
+        return self.config.cost_model
+
+    @property
+    def with_speedybox(self) -> bool:
+        return isinstance(self.runtime, SpeedyBox)
+
+    # -- per-packet timing (subclass hooks) ----------------------------------
+
+    def _transport_cycles_per_hop(self) -> float:
+        """Cycles to move a packet descriptor to the next NF."""
+        raise NotImplementedError
+
+    def _nic_cycles(self) -> float:
+        """Per-packet NIC driver cost, amortised over the RX/TX batch."""
+        model = self.costs
+        return (model.nic_rx + model.nic_tx) / self.config.batch_size
+
+    def _time_report(self, report: ProcessReport) -> Tuple[float, float, float]:
+        """(work, latency, main-core) cycles for one packet's report."""
+        model = self.costs
+        fixed = report.fixed_meter.cycles(model)
+        work = fixed + self._nic_cycles()
+        latency = fixed + self._nic_cycles()
+        main_core = fixed + self._nic_cycles()
+
+        if report.is_fast:
+            extra = self._fast_path_extra_cycles()
+            sf_work, sf_latency, sf_main = self._time_sf_waves(report)
+            work += sf_work + extra
+            latency += sf_latency + extra
+            main_core += sf_main + extra
+        else:
+            hop = self._transport_cycles_per_hop()
+            for __, meter in report.nf_meters:
+                stage = meter.cycles(model) + hop
+                work += stage
+                latency += stage
+                main_core += stage
+        return work, latency, main_core
+
+    def _time_sf_waves(self, report: ProcessReport) -> Tuple[float, float, float]:
+        """(work, wall-clock, main-core) cycles of the SF schedule.
+
+        Single-batch waves run inline on the main core; parallel waves
+        fork to workers — the main core spends only fork/join/sync on
+        them, wall-clock grows by the wave's makespan, and total work by
+        the sum of batch costs plus overhead.
+        """
+        model = self.costs
+        work = 0.0
+        latency = 0.0
+        main_core = 0.0
+        for wave in report.sf_waves:
+            durations = [meter.cycles(model) for __, meter in wave]
+            if len(durations) == 1:
+                work += durations[0]
+                latency += durations[0]
+                main_core += durations[0]
+                continue
+            overhead = model.worker_fork + model.worker_join + self._parallel_sync_cycles()
+            work += sum(durations) + overhead
+            latency += makespan_with_workers(durations, self.config.worker_cores) + overhead
+            main_core += overhead
+        return work, latency, main_core
+
+    def _parallel_sync_cycles(self) -> float:
+        """Extra synchronisation a parallel wave costs on this platform."""
+        return 0.0
+
+    def _fast_path_extra_cycles(self) -> float:
+        """Platform-specific fixed overhead of the fast path (per packet)."""
+        return 0.0
+
+    # -- unloaded mode ---------------------------------------------------------
+
+    def process(self, packet: Packet) -> PacketOutcome:
+        """Run one packet functionally and time it in isolation."""
+        self.packets += 1
+        report = self.runtime.process(packet)
+        work, latency, main_core = self._time_report(report)
+        return PacketOutcome(
+            packet=packet,
+            report=report,
+            work_cycles=work,
+            latency_cycles=latency,
+            main_core_cycles=main_core,
+            latency_ns=self.costs.cycles_to_ns(latency),
+            dropped=report.dropped,
+        )
+
+    def process_all(self, packets: Sequence[Packet]) -> List[PacketOutcome]:
+        return [self.process(packet) for packet in packets]
+
+    # -- loaded mode (throughput) ----------------------------------------------
+
+    def _stage_plan(self, report: ProcessReport) -> StagePlan:
+        """Map a report to (stage_index, service_ns) hops for the replay."""
+        raise NotImplementedError
+
+    def _stage_count(self) -> int:
+        raise NotImplementedError
+
+    def run_load(
+        self,
+        packets: Sequence[Packet],
+        inter_arrival_ns: float = 0.0,
+        use_timestamps: bool = False,
+    ) -> LoadResult:
+        """Two-phase loaded run: functional pass, then temporal replay.
+
+        ``inter_arrival_ns=0`` offers packets back-to-back (saturation):
+        the resulting throughput is the platform's capacity.  With
+        ``use_timestamps=True`` packets arrive at their recorded
+        ``timestamp_ns`` offsets instead (trace replay; timestamps must
+        be non-decreasing).
+        """
+        plans: List[StagePlan] = []
+        gaps: List[float] = []
+        dropped = 0
+        previous_ts: Optional[float] = None
+        for packet in packets:
+            if use_timestamps:
+                if previous_ts is not None and packet.timestamp_ns < previous_ts:
+                    raise ValueError("trace timestamps must be non-decreasing for replay")
+                gaps.append(0.0 if previous_ts is None else packet.timestamp_ns - previous_ts)
+                previous_ts = packet.timestamp_ns
+            outcome = self.process(packet)
+            plans.append(self._stage_plan(outcome.report))
+            if outcome.dropped:
+                dropped += 1
+
+        engine = Engine()
+        stage_count = self._stage_count()
+        rings = [
+            Store(engine, capacity=self.config.ring_capacity, name=f"ring{i}")
+            for i in range(stage_count)
+        ]
+        done = Store(engine, name="done")
+        arrival_at: dict = {}
+        completions: List[Tuple[int, float]] = []
+
+        def delay_hop(packet_index: int, hop: int, plan: StagePlan):
+            """A None-stage hop: pure delay, no core contention."""
+            __, service_ns = plan[hop]
+            yield Timeout(service_ns)
+            yield from forward(packet_index, hop, plan)
+
+        def forward(packet_index: int, hop: int, plan: StagePlan):
+            if hop + 1 < len(plan):
+                next_stage = plan[hop + 1][0]
+                if next_stage is None:
+                    engine.add_process(delay_hop(packet_index, hop + 1, plan))
+                else:
+                    yield Put(rings[next_stage], (packet_index, hop + 1, plan))
+            else:
+                yield Put(done, (packet_index, engine.now))
+
+        def source():
+            for index, plan in enumerate(plans):
+                if use_timestamps:
+                    if gaps[index] > 0:
+                        yield Timeout(gaps[index])
+                elif inter_arrival_ns > 0 and index:
+                    yield Timeout(inter_arrival_ns)
+                arrival_at[index] = engine.now
+                first_stage = plan[0][0] if plan else stage_count - 1
+                if first_stage is None:
+                    engine.add_process(delay_hop(index, 0, plan))
+                else:
+                    yield Put(rings[first_stage], (index, 0, plan))
+
+        def stage_worker(stage_index: int):
+            while True:
+                item = yield Get(rings[stage_index])
+                if item is None:
+                    return
+                packet_index, hop, plan = item
+                __, service_ns = plan[hop]
+                yield Timeout(service_ns)
+                yield from forward(packet_index, hop, plan)
+
+        def sink():
+            for __ in range(len(plans)):
+                packet_index, finished_at = yield Get(done)
+                completions.append((packet_index, finished_at))
+            for ring in rings:
+                yield Put(ring, None)  # poison pills
+
+        engine.add_process(source(), name="source")
+        for stage_index in range(stage_count):
+            engine.add_process(stage_worker(stage_index), name=f"stage{stage_index}")
+        engine.add_process(sink(), name="sink")
+        engine.run()
+
+        latencies = [finished_at - arrival_at[index] for index, finished_at in completions]
+        makespan = max(t for __, t in completions) if completions else 0.0
+        return LoadResult(
+            offered=len(plans),
+            delivered=len(plans) - dropped,
+            dropped=dropped,
+            makespan_ns=makespan,
+            latencies_ns=latencies,
+        )
+
+    def reset(self) -> None:
+        self.packets = 0
+        self.runtime.reset()

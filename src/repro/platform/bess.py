@@ -1,0 +1,50 @@
+"""The BESS platform model (§VI-A).
+
+"BESS typically implements an entire service chain as a single process on
+a dedicated core."  Consequences modelled here:
+
+- NFs hand packets to each other with a cheap in-process module dispatch
+  (``nf_dispatch``), not shared-memory rings;
+- the whole chain is run-to-completion: one core serves a packet start to
+  finish, so throughput is the inverse of per-packet occupancy and falls
+  as chains grow (Fig. 5a, Fig. 8);
+- SpeedyBox's parallel state-function waves fork onto worker cores; the
+  main core blocks at the join, so the *latency* saving (max instead of
+  sum per wave) is also an *occupancy* saving — which is exactly why
+  SpeedyBox improves BESS's processing rate (Fig. 5a, 2.1x at three
+  state functions) but not OpenNetVM's.
+
+The paper's SpeedyBox-on-BESS prototype implements the Global MAT as a
+global array in the single process; the fast path here likewise runs
+entirely on the main core.
+"""
+
+from __future__ import annotations
+
+from repro.core.framework import ProcessReport
+from repro.platform.base import Platform, StagePlan
+
+
+class BessPlatform(Platform):
+    """Single-core, run-to-completion chain execution."""
+
+    name = "bess"
+
+    def _transport_cycles_per_hop(self) -> float:
+        return self.costs.nf_dispatch
+
+    def _parallel_sync_cycles(self) -> float:
+        # Workers share the process address space: fork/join only.
+        return 0.0
+
+    # -- loaded mode: one stage, occupancy == wall latency ------------------
+
+    def _stage_count(self) -> int:
+        return 1
+
+    def _stage_plan(self, report: ProcessReport) -> StagePlan:
+        # Run-to-completion: the core blocks until the packet finishes
+        # (including the join of any parallel SF waves), so occupancy is
+        # the full wall-clock latency.
+        __, latency_cycles, __ = self._time_report(report)
+        return [(0, self.costs.cycles_to_ns(latency_cycles))]

@@ -1,0 +1,40 @@
+"""Discrete-event simulation engine.
+
+This subpackage is a small, self-contained discrete-event simulator in the
+style of SimPy: *processes* are Python generators that yield scheduling
+primitives (:class:`Timeout`, :class:`Get`, :class:`Put`, :class:`Request`)
+to an :class:`Engine` that advances a virtual clock.  It is the substrate
+on which the NFV platform models (``repro.platform``) measure pipelined
+throughput and latency.
+
+The engine is deterministic: given the same processes and the same
+scheduling order, every run produces identical timestamps.  Ties in event
+time are broken by insertion order.
+"""
+
+from repro.sim.engine import (
+    Engine,
+    Event,
+    Get,
+    Interrupt,
+    Process,
+    Put,
+    Request,
+    SimulationError,
+    Timeout,
+)
+from repro.sim.resources import Resource, Store
+
+__all__ = [
+    "Engine",
+    "Event",
+    "Get",
+    "Interrupt",
+    "Process",
+    "Put",
+    "Request",
+    "Resource",
+    "SimulationError",
+    "Store",
+    "Timeout",
+]

@@ -1,0 +1,279 @@
+"""Core of the discrete-event simulation engine.
+
+Processes are plain Python generators.  A process yields *commands* —
+:class:`Timeout`, :class:`Get`, :class:`Put` or :class:`Request` — and the
+engine resumes it when the command completes, sending the command's result
+back into the generator.  Example::
+
+    def producer(engine, store):
+        for i in range(3):
+            yield Timeout(1.0)
+            yield Put(store, i)
+
+    engine = Engine()
+    store = Store(engine)
+    engine.add_process(producer(engine, store))
+    engine.run()
+
+Time is a float in arbitrary units; the platform models use nanoseconds.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
+
+
+class SimulationError(Exception):
+    """Raised for invalid simulator usage (e.g. negative delays)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process that another process interrupted.
+
+    The ``cause`` attribute carries the value passed to
+    :meth:`Process.interrupt`.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Command:
+    """Base class for everything a process may yield to the engine."""
+
+    __slots__ = ()
+
+
+class Timeout(Command):
+    """Suspend the yielding process for ``delay`` time units."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, delay: float):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay!r}")
+        self.delay = float(delay)
+
+    def __repr__(self) -> str:
+        return f"Timeout({self.delay})"
+
+
+class Put(Command):
+    """Put ``item`` into ``store``; blocks while the store is full."""
+
+    __slots__ = ("store", "item")
+
+    def __init__(self, store: "Store", item: Any):
+        self.store = store
+        self.item = item
+
+    def __repr__(self) -> str:
+        return f"Put({self.store!r}, {self.item!r})"
+
+
+class Get(Command):
+    """Take the oldest item from ``store``; blocks while it is empty."""
+
+    __slots__ = ("store",)
+
+    def __init__(self, store: "Store"):
+        self.store = store
+
+    def __repr__(self) -> str:
+        return f"Get({self.store!r})"
+
+
+class Request(Command):
+    """Acquire one slot of ``resource``; blocks while it is saturated.
+
+    The process must later yield ``resource.release()``.
+    """
+
+    __slots__ = ("resource",)
+
+    def __init__(self, resource: "Resource"):
+        self.resource = resource
+
+    def __repr__(self) -> str:
+        return f"Request({self.resource!r})"
+
+
+class Release(Command):
+    """Release one previously acquired slot of ``resource``."""
+
+    __slots__ = ("resource",)
+
+    def __init__(self, resource: "Resource"):
+        self.resource = resource
+
+    def __repr__(self) -> str:
+        return f"Release({self.resource!r})"
+
+
+class Event:
+    """A one-shot event processes can wait on (yield) and trigger."""
+
+    __slots__ = ("engine", "triggered", "value", "_waiters")
+
+    def __init__(self, engine: "Engine"):
+        self.engine = engine
+        self.triggered = False
+        self.value: Any = None
+        self._waiters: List["Process"] = []
+
+    def trigger(self, value: Any = None) -> None:
+        """Fire the event, waking every waiting process at the current time."""
+        if self.triggered:
+            raise SimulationError("event already triggered")
+        self.triggered = True
+        self.value = value
+        waiters, self._waiters = self._waiters, []
+        for process in waiters:
+            self.engine._schedule_resume(process, value)
+
+    def _add_waiter(self, process: "Process") -> None:
+        self._waiters.append(process)
+
+
+class Process:
+    """A running generator inside the engine.
+
+    ``finished`` flips to True when the generator returns; ``result`` holds
+    its ``StopIteration`` value.  Other processes may ``yield`` a Process to
+    join on it.
+    """
+
+    __slots__ = ("engine", "generator", "name", "finished", "result", "_joiners", "_pending_interrupt")
+
+    def __init__(self, engine: "Engine", generator: Generator, name: str = ""):
+        self.engine = engine
+        self.generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self.finished = False
+        self.result: Any = None
+        self._joiners: List["Process"] = []
+        self._pending_interrupt: Optional[Interrupt] = None
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if self.finished:
+            return
+        self._pending_interrupt = Interrupt(cause)
+        self.engine._schedule_resume(self, None)
+
+    def __repr__(self) -> str:
+        state = "finished" if self.finished else "running"
+        return f"<Process {self.name} ({state})>"
+
+
+class Engine:
+    """The event loop: a priority queue of (time, sequence, callback)."""
+
+    def __init__(self):
+        self._now = 0.0
+        self._queue: List[Tuple[float, int, Callable[[], None]]] = []
+        self._sequence = itertools.count()
+        self._active: int = 0  # number of unfinished processes
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    def event(self) -> Event:
+        """Create a fresh one-shot :class:`Event` bound to this engine."""
+        return Event(self)
+
+    def add_process(self, generator: Generator, name: str = "") -> Process:
+        """Register ``generator`` as a process starting at the current time."""
+        process = Process(self, generator, name=name)
+        self._active += 1
+        self._schedule_resume(process, None)
+        return process
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> None:
+        """Run ``callback()`` after ``delay`` time units."""
+        if delay < 0:
+            raise SimulationError(f"negative schedule delay: {delay!r}")
+        heapq.heappush(self._queue, (self._now + delay, next(self._sequence), callback))
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until the queue drains or the clock passes ``until``.
+
+        Returns the final simulation time.
+        """
+        while self._queue:
+            time, __, callback = self._queue[0]
+            if until is not None and time > until:
+                self._now = until
+                return self._now
+            heapq.heappop(self._queue)
+            self._now = time
+            callback()
+        if until is not None:
+            self._now = max(self._now, until)
+        return self._now
+
+    # -- process machinery -------------------------------------------------
+
+    def _schedule_resume(self, process: Process, value: Any, delay: float = 0.0) -> None:
+        self.schedule(delay, lambda: self._resume(process, value))
+
+    def _resume(self, process: Process, value: Any) -> None:
+        if process.finished:
+            return
+        try:
+            if process._pending_interrupt is not None:
+                interrupt, process._pending_interrupt = process._pending_interrupt, None
+                command = process.generator.throw(interrupt)
+            else:
+                command = process.generator.send(value)
+        except StopIteration as stop:
+            self._finish(process, stop.value)
+            return
+        except Interrupt:
+            # Process chose not to catch its interrupt: treat as completion.
+            self._finish(process, None)
+            return
+        self._dispatch(process, command)
+
+    def _finish(self, process: Process, result: Any) -> None:
+        process.finished = True
+        process.result = result
+        self._active -= 1
+        joiners, process._joiners = process._joiners, []
+        for joiner in joiners:
+            self._schedule_resume(joiner, result)
+
+    def _dispatch(self, process: Process, command: Any) -> None:
+        if isinstance(command, Timeout):
+            self._schedule_resume(process, None, delay=command.delay)
+        elif isinstance(command, Put):
+            command.store._put(process, command.item)
+        elif isinstance(command, Get):
+            command.store._get(process)
+        elif isinstance(command, Request):
+            command.resource._request(process)
+        elif isinstance(command, Release):
+            command.resource._release(process)
+        elif isinstance(command, Event):
+            if command.triggered:
+                self._schedule_resume(process, command.value)
+            else:
+                command._add_waiter(process)
+        elif isinstance(command, Process):
+            if command.finished:
+                self._schedule_resume(process, command.result)
+            else:
+                command._joiners.append(process)
+        else:
+            raise SimulationError(f"process {process.name} yielded unsupported value: {command!r}")
+
+
+def drain(iterable: Iterable) -> None:
+    """Exhaust an iterable, discarding values (helper for tests)."""
+    for __ in iterable:
+        pass

@@ -1,0 +1,146 @@
+"""Shared resources for the discrete-event engine.
+
+Two primitives cover everything the platform models need:
+
+- :class:`Store` — a bounded FIFO queue (models the RX/TX ring buffers that
+  OpenNetVM uses to hand packet descriptors between cores).
+- :class:`Resource` — a counted semaphore (models a pool of worker cores
+  used for SpeedyBox's parallel state-function execution).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, List, Optional, Tuple, TYPE_CHECKING
+
+from repro.sim.engine import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.sim.engine import Engine, Process
+
+
+class Store:
+    """A FIFO queue with optional capacity.
+
+    Producers yield ``Put(store, item)`` and block while the store is full;
+    consumers yield ``Get(store)`` and block while it is empty.  FIFO order
+    is preserved for both items and blocked processes.
+    """
+
+    def __init__(self, engine: "Engine", capacity: Optional[int] = None, name: str = ""):
+        if capacity is not None and capacity <= 0:
+            raise SimulationError(f"store capacity must be positive, got {capacity!r}")
+        self.engine = engine
+        self.capacity = capacity
+        self.name = name
+        self._items: Deque[Any] = deque()
+        self._blocked_putters: Deque[Tuple["Process", Any]] = deque()
+        self._blocked_getters: Deque["Process"] = deque()
+        self.total_put = 0
+        self.total_got = 0
+        self.high_watermark = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __repr__(self) -> str:
+        cap = "inf" if self.capacity is None else str(self.capacity)
+        return f"<Store {self.name or id(self)} {len(self._items)}/{cap}>"
+
+    @property
+    def full(self) -> bool:
+        return self.capacity is not None and len(self._items) >= self.capacity
+
+    def items_snapshot(self) -> List[Any]:
+        """A copy of the queued items, oldest first (for inspection/tests)."""
+        return list(self._items)
+
+    # -- engine-facing plumbing -------------------------------------------
+
+    def _put(self, process: "Process", item: Any) -> None:
+        if self.full:
+            self._blocked_putters.append((process, item))
+            return
+        self._enqueue(item)
+        self.engine._schedule_resume(process, None)
+        self._feed_getters()
+
+    def _get(self, process: "Process") -> None:
+        if not self._items:
+            self._blocked_getters.append(process)
+            return
+        item = self._items.popleft()
+        self.total_got += 1
+        self.engine._schedule_resume(process, item)
+        self._admit_putters()
+
+    def _enqueue(self, item: Any) -> None:
+        self._items.append(item)
+        self.total_put += 1
+        self.high_watermark = max(self.high_watermark, len(self._items))
+
+    def _feed_getters(self) -> None:
+        while self._blocked_getters and self._items:
+            getter = self._blocked_getters.popleft()
+            item = self._items.popleft()
+            self.total_got += 1
+            self.engine._schedule_resume(getter, item)
+
+    def _admit_putters(self) -> None:
+        while self._blocked_putters and not self.full:
+            putter, item = self._blocked_putters.popleft()
+            self._enqueue(item)
+            self.engine._schedule_resume(putter, None)
+        self._feed_getters()
+
+
+class Resource:
+    """A counted semaphore with FIFO granting.
+
+    A process acquires a slot with ``yield Request(resource)`` and must
+    release it with ``yield resource.release()``.
+    """
+
+    def __init__(self, engine: "Engine", capacity: int = 1, name: str = ""):
+        if capacity <= 0:
+            raise SimulationError(f"resource capacity must be positive, got {capacity!r}")
+        self.engine = engine
+        self.capacity = capacity
+        self.name = name
+        self.in_use = 0
+        self._waiting: Deque["Process"] = deque()
+        self.total_grants = 0
+
+    def __repr__(self) -> str:
+        return f"<Resource {self.name or id(self)} {self.in_use}/{self.capacity}>"
+
+    @property
+    def available(self) -> int:
+        return self.capacity - self.in_use
+
+    def release(self):
+        """Command to yield for releasing one previously acquired slot."""
+        from repro.sim.engine import Release
+
+        return Release(self)
+
+    # -- engine-facing plumbing -------------------------------------------
+
+    def _request(self, process: "Process") -> None:
+        if self.in_use < self.capacity:
+            self.in_use += 1
+            self.total_grants += 1
+            self.engine._schedule_resume(process, self)
+            return
+        self._waiting.append(process)
+
+    def _release(self, process: "Process") -> None:
+        if self.in_use <= 0:
+            raise SimulationError(f"release of idle resource {self!r}")
+        self.in_use -= 1
+        self.engine._schedule_resume(process, None)
+        if self._waiting and self.in_use < self.capacity:
+            waiter = self._waiting.popleft()
+            self.in_use += 1
+            self.total_grants += 1
+            self.engine._schedule_resume(waiter, self)

@@ -1,0 +1,86 @@
+"""Structured comparison of two latency/flow-time distributions.
+
+The evaluation repeatedly answers one question: *by how much did
+SpeedyBox improve this metric's distribution?*  :func:`compare` packages
+the answer: per-percentile reductions, mean reduction, and a stochastic
+dominance check (the variant is better everywhere, not just at p50 —
+what Fig. 9's CDFs show visually).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Sequence, Tuple
+
+from repro.stats.summary import Distribution, percentile
+
+DEFAULT_FRACTIONS = (0.10, 0.50, 0.90, 0.99)
+
+
+@dataclass
+class Comparison:
+    """Baseline-vs-variant summary (positive reduction = variant wins)."""
+
+    baseline_count: int
+    variant_count: int
+    reductions_pct: Dict[float, float] = field(default_factory=dict)
+    mean_reduction_pct: float = 0.0
+    #: variant's empirical CDF lies at-or-left of the baseline's at every
+    #: checked percentile (first-order stochastic dominance, sampled)
+    dominates: bool = False
+
+    def reduction_at(self, fraction: float) -> float:
+        return self.reductions_pct[fraction]
+
+    def __str__(self) -> str:
+        parts = [
+            f"p{int(fraction * 100)}: -{reduction:.1f}%"
+            for fraction, reduction in sorted(self.reductions_pct.items())
+        ]
+        dominance = "dominates" if self.dominates else "crosses baseline"
+        return f"<Comparison {'  '.join(parts)}  mean: -{self.mean_reduction_pct:.1f}% ({dominance})>"
+
+
+def compare(
+    baseline: Distribution,
+    variant: Distribution,
+    fractions: Sequence[float] = DEFAULT_FRACTIONS,
+    dominance_grid: int = 50,
+) -> Comparison:
+    """Compare ``variant`` against ``baseline`` (lower is better)."""
+    if not len(baseline) or not len(variant):
+        raise ValueError("both distributions need samples")
+    reductions: Dict[float, float] = {}
+    for fraction in fractions:
+        base_value = baseline.p(fraction)
+        if base_value <= 0:
+            raise ValueError(f"baseline percentile p{fraction} is non-positive")
+        reductions[fraction] = 100.0 * (1.0 - variant.p(fraction) / base_value)
+
+    mean_reduction = 100.0 * (1.0 - variant.mean / baseline.mean)
+
+    base_values = baseline.values
+    variant_values = variant.values
+    dominates = all(
+        percentile(variant_values, i / dominance_grid)
+        <= percentile(base_values, i / dominance_grid) + 1e-12
+        for i in range(1, dominance_grid + 1)
+    )
+    return Comparison(
+        baseline_count=len(baseline),
+        variant_count=len(variant),
+        reductions_pct=reductions,
+        mean_reduction_pct=mean_reduction,
+        dominates=dominates,
+    )
+
+
+def comparison_rows(comparison: Comparison) -> Tuple[Tuple[str, str], ...]:
+    """(metric, value) rows for table rendering."""
+    rows = [
+        (f"p{int(fraction * 100)} reduction", f"-{reduction:.1f}%")
+        for fraction, reduction in sorted(comparison.reductions_pct.items())
+    ]
+    rows.append(("mean reduction", f"-{comparison.mean_reduction_pct:.1f}%"))
+    rows.append(("stochastic dominance", "yes" if comparison.dominates else "no"))
+    return tuple(rows)

@@ -1,0 +1,77 @@
+"""Shared harness for the equivalence test suites (§VII-C methodology).
+
+"The methodology is to inject various packets into the system to cover
+different conditional branches in the code.  If the system generates
+identical packet outputs and state, we are confident that SpeedyBox
+guarantees equivalence."
+
+:func:`run_lockstep` drives the original chain and a SpeedyBox-wrapped
+copy of the same chain over byte-identical packet streams, optionally
+applying mid-stream interventions (e.g. failing a Maglev backend before
+packet 6) to *both* runs at the same packet index, and asserts the packet
+outputs are identical.  NF-state comparisons are the caller's to add.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.framework import ProcessReport, ServiceChain, SpeedyBox
+from repro.net.packet import Packet
+from repro.traffic.generator import clone_packets
+
+Intervention = Callable[[ServiceChain, SpeedyBox], None]
+
+
+def run_lockstep(
+    build_chain: Callable[[], list],
+    packets: Sequence[Packet],
+    interventions: Optional[Dict[int, Intervention]] = None,
+    compare_outputs: bool = True,
+    sbox_kwargs: Optional[dict] = None,
+) -> Tuple[ServiceChain, SpeedyBox, List[Packet], List[Packet], List[ProcessReport]]:
+    """Process the same stream through baseline and SpeedyBox runs.
+
+    ``interventions[i]`` runs *before* packet ``i`` is processed, against
+    both runtimes.  Returns both runtimes, both (mutated) packet lists and
+    the SpeedyBox reports.
+    """
+    interventions = interventions or {}
+    baseline = ServiceChain(build_chain())
+    speedybox = SpeedyBox(build_chain(), **(sbox_kwargs or {}))
+
+    base_packets = clone_packets(packets)
+    sbox_packets = clone_packets(packets)
+    reports: List[ProcessReport] = []
+
+    for index, (base_pkt, sbox_pkt) in enumerate(zip(base_packets, sbox_packets)):
+        if index in interventions:
+            interventions[index](baseline, speedybox)
+        baseline.process(base_pkt)
+        reports.append(speedybox.process(sbox_pkt))
+
+    if compare_outputs:
+        assert_output_equivalence(base_packets, sbox_packets)
+    return baseline, speedybox, base_packets, sbox_packets, reports
+
+
+def assert_output_equivalence(base_packets: Sequence[Packet], sbox_packets: Sequence[Packet]) -> None:
+    """Packet-for-packet: same drop decisions, same bytes on the wire."""
+    assert len(base_packets) == len(sbox_packets)
+    for index, (base_pkt, sbox_pkt) in enumerate(zip(base_packets, sbox_packets)):
+        assert base_pkt.dropped == sbox_pkt.dropped, (
+            f"packet {index}: drop mismatch (baseline={base_pkt.dropped}, "
+            f"speedybox={sbox_pkt.dropped})"
+        )
+        if not base_pkt.dropped:
+            assert base_pkt.serialize() == sbox_pkt.serialize(), (
+                f"packet {index}: wire bytes differ\n"
+                f"  baseline : {base_pkt!r}\n  speedybox: {sbox_pkt!r}"
+            )
+
+
+def nf_by_name(runtime, name: str):
+    for nf in runtime.nfs:
+        if nf.name == name:
+            return nf
+    raise KeyError(name)

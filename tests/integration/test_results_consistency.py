@@ -1,0 +1,86 @@
+"""EXPERIMENTS.md honesty check.
+
+The measured numbers quoted in EXPERIMENTS.md must match what the
+benchmark harness actually regenerates.  These tests parse the saved
+result tables under benchmarks/results/ (skipping if the benches have
+not been run in this checkout) and cross-check the headline figures the
+document cites.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parents[2]
+RESULTS = REPO / "benchmarks" / "results"
+
+pytestmark = pytest.mark.skipif(
+    not RESULTS.exists(), reason="benchmarks/results not generated in this checkout"
+)
+
+
+def result(name):
+    path = RESULTS / f"{name}.txt"
+    if not path.exists():
+        pytest.skip(f"{name}.txt not generated")
+    return path.read_text()
+
+
+def experiments_text():
+    return (REPO / "EXPERIMENTS.md").read_text()
+
+
+class TestFig4Consistency:
+    def test_sbox_sub_flat_at_750(self):
+        text = result("fig4_bess")
+        rows = [line for line in text.splitlines() if re.match(r"^\d\s", line)]
+        sbox_sub = [line.split()[-1].replace(",", "") for line in rows]
+        assert sbox_sub == ["750", "750", "750"]
+        assert "750" in experiments_text()
+
+    def test_quoted_reductions_match(self):
+        text = result("fig4_bess")
+        rows = [line.split() for line in text.splitlines() if re.match(r"^\d\s", line)]
+        orig = [float(row[3].replace(",", "")) for row in rows]
+        sbox = [float(row[4].replace(",", "")) for row in rows]
+        reduction2 = 100 * (1 - sbox[1] / orig[1])
+        reduction3 = 100 * (1 - sbox[2] / orig[2])
+        doc = experiments_text()
+        assert f"−{reduction2:.1f}%" in doc or f"-{reduction2:.1f}%" in doc
+        assert f"−{reduction3:.1f}%" in doc or f"-{reduction3:.1f}%" in doc
+
+
+class TestTable3Consistency:
+    def test_aggregates_match_document(self):
+        text = result("table3_early_drop")
+        doc = experiments_text()
+        bess = re.search(r"BESS w/ SBox.*?(\d+) \(-(\d+\.\d)%\)", text)
+        assert bess is not None
+        assert f"−{bess.group(2)}%" in doc or f"-{bess.group(2)}%" in doc
+
+
+class TestFig9Consistency:
+    @pytest.mark.parametrize("chain", ["chain1", "chain2"])
+    def test_p50_reductions_match_document(self, chain):
+        text = result(f"fig9_{chain}")
+        doc = experiments_text()
+        for match in re.finditer(r"p50 reduction\s+-(\d+\.\d)%", text):
+            value = match.group(1)
+            assert f"−{value}%" in doc or f"-{value}%" in doc, (
+                f"{chain}: measured -{value}% not quoted in EXPERIMENTS.md"
+            )
+
+
+class TestAblationConsistency:
+    def test_breakeven_flow_size_quoted(self):
+        text = result("ablation_breakeven")
+        match = re.search(r"first win at (\d+) packets", text)
+        assert match is not None
+        assert "second" in experiments_text() or f"at {match.group(1)} packets" in experiments_text()
+
+    def test_event_overhead_per_event(self):
+        text = result("ablation_event_overhead")
+        # +50 cycles per event, quoted in the doc.
+        assert "+50" in text
+        assert "+50 cyc/event" in experiments_text()

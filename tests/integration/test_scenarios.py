@@ -1,0 +1,188 @@
+"""Integration scenarios beyond §VII-C: early drop, encap/decap chains,
+the Fig. 3 DoS event walkthrough, long chains, and flow lifecycle."""
+
+from repro.core.framework import PathTaken, ServiceChain, SpeedyBox
+from repro.nf import (
+    DosPrevention,
+    IPFilter,
+    Monitor,
+    SyntheticNF,
+    VpnDecap,
+    VpnEncap,
+)
+from repro.nf.ipfilter import AclRule, Verdict
+from repro.platform import BessPlatform
+from repro.traffic import FlowSpec, TrafficGenerator
+from repro.traffic.generator import clone_packets
+from tests.integration.helpers import nf_by_name, run_lockstep
+
+
+def flow_packets(packets=8, sport=1500, payload=b"data-bytes", handshake=False, fin=False):
+    spec = FlowSpec.tcp(
+        "10.0.0.1", "10.0.0.2", sport, 80,
+        packets=packets, payload=payload, handshake=handshake, fin=fin,
+    )
+    return TrafficGenerator([spec]).packets()
+
+
+class TestEarlyDrop:
+    """Table III scenario: {forward, forward, drop} chain."""
+
+    @staticmethod
+    def chain():
+        return [
+            IPFilter("nf1"),
+            IPFilter("nf2"),
+            IPFilter("nf3", rules=[AclRule.make(verdict=Verdict.DROP)]),
+        ]
+
+    def test_all_packets_dropped_both_ways(self):
+        packets = flow_packets(6)
+        __, __, base_packets, sbox_packets, __ = run_lockstep(self.chain, packets)
+        assert all(packet.dropped for packet in base_packets)
+        assert all(packet.dropped for packet in sbox_packets)
+
+    def test_subsequent_packets_drop_at_entry(self):
+        packets = flow_packets(6)
+        __, speedybox, __, __, reports = run_lockstep(self.chain, packets)
+        for report in reports[1:]:
+            assert report.is_fast
+            assert report.nf_meters == []  # no NF executed: dropped at entry
+
+    def test_early_drop_saves_cycles(self):
+        packets = flow_packets(6)
+        baseline = BessPlatform(ServiceChain(self.chain()))
+        speedybox = BessPlatform(SpeedyBox(self.chain()))
+        base_outcomes = baseline.process_all(clone_packets(packets))
+        sbox_outcomes = speedybox.process_all(clone_packets(packets))
+        # Table III: ~65% cycle reduction on subsequent packets.
+        base_sub = base_outcomes[-1].work_cycles
+        sbox_sub = sbox_outcomes[-1].work_cycles
+        assert sbox_sub < 0.5 * base_sub
+
+
+class TestVpnChain:
+    def test_encap_decap_pair_consolidates_away(self):
+        def chain():
+            return [VpnEncap("enc", spi=0x10, key=5), VpnDecap("dec", key=5)]
+
+        packets = flow_packets(5, payload=b"tunnel-me")
+        __, speedybox, __, sbox_packets, reports = run_lockstep(chain, packets)
+        fid = reports[0].fid
+        rule = speedybox.global_mat.peek(fid)
+        assert rule.consolidated.is_noop  # encap+decap cancelled (§V-B)
+        assert all(not packet.encaps for packet in sbox_packets)
+
+    def test_encap_only_chain_emits_tunnelled_packets(self):
+        def chain():
+            return [VpnEncap("enc", spi=0x22, key=9)]
+
+        packets = flow_packets(4, payload=b"payload")
+        __, __, base_packets, sbox_packets, __ = run_lockstep(chain, packets)
+        for packet in sbox_packets:
+            assert len(packet.encaps) == 1
+            assert packet.encaps[0].spi == 0x22
+
+    def test_decap_verification_state_identical(self):
+        def chain():
+            return [VpnEncap("enc", spi=0x10, key=5), VpnDecap("dec", key=5)]
+
+        packets = flow_packets(5)
+        baseline, speedybox, *_ = run_lockstep(chain, packets)
+        assert (
+            nf_by_name(baseline, "dec").verification_failures
+            == nf_by_name(speedybox, "dec").verification_failures
+            == 0
+        )
+
+
+class TestDosEventWalkthrough:
+    """The Fig. 3 scenario: counter crosses threshold -> modify becomes drop."""
+
+    @staticmethod
+    def chain(threshold=4):
+        return [DosPrevention("dos", threshold=threshold, mode="packets"), Monitor("mon")]
+
+    def test_drop_starts_at_same_packet_in_both_runs(self):
+        packets = flow_packets(10)
+        __, __, base_packets, sbox_packets, __ = run_lockstep(lambda: self.chain(4), packets)
+        base_pattern = [packet.dropped for packet in base_packets]
+        sbox_pattern = [packet.dropped for packet in sbox_packets]
+        assert base_pattern == sbox_pattern
+        assert base_pattern == [False] * 5 + [True] * 5
+
+    def test_counters_and_blocked_state_identical(self):
+        packets = flow_packets(10)
+        baseline, speedybox, *_ = run_lockstep(lambda: self.chain(4), packets)
+        base_dos = nf_by_name(baseline, "dos")
+        sbox_dos = nf_by_name(speedybox, "dos")
+        assert base_dos.counters == sbox_dos.counters
+        assert base_dos.blocked_flows == sbox_dos.blocked_flows
+
+    def test_monitor_after_dropper_stops_counting(self):
+        packets = flow_packets(10)
+        baseline, speedybox, *_ = run_lockstep(lambda: self.chain(4), packets)
+        # The Monitor sits after the DoS NF: it must only see the 5
+        # forwarded packets — on both paths.
+        assert nf_by_name(baseline, "mon").total_packets() == 5
+        assert nf_by_name(speedybox, "mon").total_packets() == 5
+
+    def test_rule_flips_to_drop(self):
+        packets = flow_packets(10)
+        __, speedybox, __, __, reports = run_lockstep(lambda: self.chain(4), packets)
+        rule = speedybox.global_mat.peek(reports[0].fid)
+        assert rule.consolidated.drop
+        assert rule.version >= 2
+
+
+class TestLongChains:
+    def test_nine_nf_chain_equivalent(self):
+        def chain():
+            return [IPFilter(f"fw{i}") for i in range(9)]
+
+        packets = flow_packets(5, handshake=True, fin=True)
+        run_lockstep(chain, packets)
+
+    def test_fast_path_latency_independent_of_length(self):
+        def fast_latency(n):
+            platform = BessPlatform(SpeedyBox([IPFilter(f"fw{i}") for i in range(n)]))
+            outcomes = platform.process_all(flow_packets(3))
+            return outcomes[-1].latency_cycles
+
+        assert abs(fast_latency(9) - fast_latency(2)) < 1.0
+
+    def test_original_latency_grows_linearly(self):
+        def latency(n):
+            platform = BessPlatform(ServiceChain([IPFilter(f"fw{i}") for i in range(n)]))
+            outcomes = platform.process_all(flow_packets(3))
+            return outcomes[-1].latency_cycles
+
+        l3, l6, l9 = latency(3), latency(6), latency(9)
+        assert abs((l9 - l6) - (l6 - l3)) < 1.0
+
+
+class TestFlowLifecycle:
+    def test_interleaved_flows_keep_separate_rules(self):
+        def chain():
+            return [SyntheticNF("syn", sf_work_cycles=100), Monitor("mon")]
+
+        flows = [
+            FlowSpec.tcp("10.0.0.1", "10.0.0.2", 1000 + i, 80, packets=4, payload=b"x")
+            for i in range(6)
+        ]
+        packets = TrafficGenerator(flows, interleave="round_robin").packets()
+        baseline, speedybox, *_ = run_lockstep(chain, packets)
+        assert len(speedybox.global_mat) == 6
+        assert nf_by_name(baseline, "mon").counters == nf_by_name(speedybox, "mon").counters
+
+    def test_restarted_flow_after_fin_reconsolidates(self):
+        sbox = SpeedyBox([Monitor("mon")])
+        first_run = flow_packets(3, fin=True)
+        for packet in first_run:
+            sbox.process(packet)
+        assert len(sbox.global_mat) == 0
+        second_run = flow_packets(3)
+        paths = [sbox.process(packet).path for packet in second_run]
+        assert paths[0] is PathTaken.ORIGINAL
+        assert all(path is PathTaken.FAST for path in paths[1:])
+        assert sbox.global_mat.consolidations == 2

@@ -1,0 +1,83 @@
+"""UDP service chains: connectionless flows through the full stack.
+
+UDP has no handshake and no FIN — the classifier treats the first packet
+as the initial one and rules live until evicted.  A DNS-ish chain
+exercises that lifecycle end to end.
+"""
+
+from repro.core.framework import PathTaken, ServiceChain, SpeedyBox
+from repro.nf import IPFilter, Monitor, SnortIDS
+from repro.nf.ipfilter import AclRule, Verdict
+from repro.traffic import FlowSpec, TrafficGenerator
+from repro.traffic.generator import clone_packets
+from tests.integration.helpers import nf_by_name, run_lockstep
+
+RULES = 'alert udp any any -> any 53 (msg:"suspicious label"; content:"exfil"; sid:5301;)'
+
+
+def build_chain():
+    return [
+        IPFilter("fw", rules=[AclRule.make(dst_ports=(5353, 5353), verdict=Verdict.DROP)]),
+        SnortIDS("ids", RULES),
+        Monitor("mon"),
+    ]
+
+
+def udp_flows():
+    return [
+        FlowSpec.udp("10.0.0.1", "10.0.0.53", 40000, 53, packets=6, payload=b"query www"),
+        FlowSpec.udp("10.0.0.2", "10.0.0.53", 40001, 53, packets=6, payload=b"exfil chunk"),
+        FlowSpec.udp("10.0.0.3", "10.0.0.53", 40002, 5353, packets=4, payload=b"mdns"),
+    ]
+
+
+class TestUdpChains:
+    def test_first_udp_packet_is_initial(self):
+        sbox = SpeedyBox(build_chain())
+        packets = TrafficGenerator(udp_flows()[:1]).packets()
+        paths = [sbox.process(p).path for p in packets]
+        assert paths[0] is PathTaken.ORIGINAL
+        assert all(path is PathTaken.FAST for path in paths[1:])
+
+    def test_lockstep_equivalence(self):
+        packets = TrafficGenerator(udp_flows(), interleave="round_robin").packets()
+        baseline, speedybox, *_ = run_lockstep(build_chain, packets)
+        assert nf_by_name(baseline, "mon").counters == nf_by_name(speedybox, "mon").counters
+        assert nf_by_name(baseline, "ids").alerts == nf_by_name(speedybox, "ids").alerts
+
+    def test_udp_rule_header_scoping(self):
+        packets = TrafficGenerator(udp_flows(), interleave="round_robin").packets()
+        __, speedybox, *_ = run_lockstep(build_chain, packets)
+        ids = nf_by_name(speedybox, "ids")
+        assert {record.sid for record in ids.alerts} == {5301}
+        # Only the exfil flow alerted, once per data packet.
+        assert len(ids.alerts) == 6
+
+    def test_blacklisted_udp_port_early_drops(self):
+        packets = TrafficGenerator(udp_flows(), interleave="round_robin").packets()
+        __, speedybox, __, sbox_packets, reports = run_lockstep(build_chain, packets)
+        mdns = [p for p in sbox_packets if p.l4.dst_port == 5353]
+        assert mdns and all(p.dropped for p in mdns)
+        fast_drops = [
+            r for r, p in zip(reports, sbox_packets) if p.dropped and r.is_fast
+        ]
+        assert fast_drops and all(r.nf_meters == [] for r in fast_drops)
+
+    def test_udp_rules_persist_without_fin(self):
+        sbox = SpeedyBox(build_chain())
+        packets = TrafficGenerator(udp_flows(), interleave="round_robin").packets()
+        for packet in clone_packets(packets):
+            sbox.process(packet)
+        # No teardown signal: all three rules stay installed.
+        assert len(sbox.global_mat) == 3
+        assert sbox.stats()["tracked_flows"] == 3
+
+    def test_mixed_tcp_udp_traffic(self):
+        flows = udp_flows() + [
+            FlowSpec.tcp("10.0.1.1", "10.0.0.53", 50000, 53, packets=5,
+                         payload=b"tcp zone transfer", handshake=True, fin=True)
+        ]
+        packets = TrafficGenerator(flows, interleave="round_robin").packets()
+        baseline, speedybox, *_ = run_lockstep(build_chain, packets)
+        # The TCP flow FINs away; the UDP rules remain.
+        assert len(speedybox.global_mat) == 3

@@ -1,0 +1,122 @@
+"""Fuzz the event machinery: chains whose rules mutate mid-stream.
+
+Random compositions of the three event-registering NFs (DoS threshold,
+token-bucket policer, Maglev with injected backend failures) driven by
+random burst traffic — baseline and SpeedyBox must stay packet-exact
+through every reconsolidation.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.framework import ServiceChain, SpeedyBox
+from repro.net import FiveTuple, Packet
+from repro.nf import DosPrevention, MaglevLoadBalancer, Monitor, TokenBucketPolicer
+from repro.nf.maglev import Backend
+
+
+def build_chain(kinds):
+    # Composition constraint (see docs/writing_nfs.md): NFs that bind
+    # their flow key at record time (DoS, policer — and Maglev's own
+    # conntrack) must sit upstream of rewriters whose output can mutate
+    # mid-flow (a Maglev under failures), while the live-key Monitor
+    # sits downstream of all rewriters.  That also caps mutable
+    # rewriters at one per chain.
+    kinds = sorted(kinds, key=lambda kind: {0: 0, 1: 0, 2: 1, 3: 2}[kind])
+    seen_maglev = False
+    deduped = []
+    for kind in kinds:
+        if kind == 2:
+            if seen_maglev:
+                continue
+            seen_maglev = True
+        deduped.append(kind)
+    kinds = deduped
+    nfs = []
+    for index, kind in enumerate(kinds):
+        if kind == 0:
+            nfs.append(DosPrevention(f"dos{index}", threshold=5, mode="packets"))
+        elif kind == 1:
+            nfs.append(TokenBucketPolicer(f"pol{index}", rate_pps=100_000.0, burst=3))
+        elif kind == 2:
+            backends = [Backend.make(f"b{index}-{i}", f"192.168.{index + 1}.{i + 1}", 8080) for i in range(3)]
+            nfs.append(MaglevLoadBalancer(f"lb{index}", backends=backends, table_size=131))
+        else:
+            nfs.append(Monitor(f"mon{index}"))
+    return nfs
+
+
+def build_packets(flow_gaps):
+    packets = []
+    for flow_index, gaps_us in enumerate(flow_gaps):
+        timestamp = 0.0
+        for gap_us in gaps_us:
+            timestamp += gap_us * 1000.0
+            packets.append(
+                Packet.from_five_tuple(
+                    FiveTuple.make(f"10.0.{flow_index}.1", "100.0.0.1", 2000 + flow_index, 80),
+                    payload=b"e",
+                    timestamp_ns=timestamp,
+                )
+            )
+    packets.sort(key=lambda p: p.timestamp_ns)
+    return packets
+
+
+class TestEventDrivenEquivalence:
+    @given(
+        kinds=st.lists(st.integers(0, 3), min_size=1, max_size=3),
+        flow_gaps=st.lists(
+            st.lists(st.floats(1.0, 100.0), min_size=3, max_size=15),
+            min_size=1,
+            max_size=3,
+        ),
+        failure_at=st.integers(0, 20),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_packet_exact_through_reconsolidations(self, kinds, flow_gaps, failure_at):
+        packets = build_packets(flow_gaps)
+        baseline = ServiceChain(build_chain(kinds))
+        speedybox = SpeedyBox(build_chain(kinds))
+
+        maglev_names = [nf.name for nf in baseline.nfs if isinstance(nf, MaglevLoadBalancer)]
+
+        def maybe_fail(runtime, index):
+            if index != failure_at or not maglev_names:
+                return
+            for name in maglev_names:
+                maglev = next(nf for nf in runtime.nfs if nf.name == name)
+                healthy = [b for b in maglev.backends if b.healthy]
+                if len(healthy) > 1:
+                    maglev.fail_backend(healthy[0].name)
+
+        base_pattern = []
+        for index, packet in enumerate([p.clone() for p in packets]):
+            maybe_fail(baseline, index)
+            baseline.process(packet)
+            base_pattern.append((packet.dropped, packet.serialize() if not packet.dropped else b""))
+
+        sbox_pattern = []
+        for index, packet in enumerate([p.clone() for p in packets]):
+            maybe_fail(speedybox, index)
+            speedybox.process(packet)
+            sbox_pattern.append((packet.dropped, packet.serialize() if not packet.dropped else b""))
+
+        assert base_pattern == sbox_pattern
+
+    @given(
+        kinds=st.lists(st.integers(0, 3), min_size=1, max_size=3),
+        gaps_us=st.lists(st.floats(1.0, 50.0), min_size=8, max_size=20),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_event_counts_are_consistent(self, kinds, gaps_us):
+        packets = build_packets([gaps_us])
+        speedybox = SpeedyBox(build_chain(kinds))
+        for packet in [p.clone() for p in packets]:
+            speedybox.process(packet)
+        stats = speedybox.stats()
+        # Reconsolidations only ever come from event triggers.
+        assert stats["reconsolidations"] <= stats["events_triggered"]
+        # Rule versions are bounded by 1 + triggers for the single flow.
+        for fid in speedybox.global_mat.flows():
+            rule = speedybox.global_mat.peek(fid)
+            assert rule.version <= 1 + stats["events_triggered"]

@@ -1,0 +1,144 @@
+"""The crown-jewel property: end-to-end equivalence for random chains.
+
+Generates random service chains from the NF building blocks and random
+multi-flow traffic (with handshakes, FINs, varying payloads), then runs
+the original chain and SpeedyBox in lockstep and asserts packet-exact
+equivalence — the §VII-C oracle, fuzzed.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.framework import ServiceChain, SpeedyBox
+from repro.nf import DosPrevention, IPFilter, MazuNAT, Monitor, SnortIDS, SyntheticNF, VpnDecap, VpnEncap
+from repro.nf.ipfilter import AclRule, Verdict
+from repro.core.state_function import PayloadClass
+from repro.traffic import FlowSpec, TrafficGenerator
+from repro.traffic.generator import clone_packets
+
+RULES_TEXT = 'alert tcp any any -> any any (msg:"fuzz"; content:"needle"; sid:1;)'
+
+
+def nf_factories():
+    """Each entry builds a fresh NF instance (index-named for uniqueness)."""
+    return [
+        lambda i: Monitor(f"mon{i}"),
+        lambda i: IPFilter(f"fw{i}"),
+        lambda i: IPFilter(
+            f"fwdrop{i}", rules=[AclRule.make(dst_ports=(9999, 9999), verdict=Verdict.DROP)]
+        ),
+        lambda i: IPFilter(f"fwmark{i}", mark_dscp=(i * 7) % 64),
+        lambda i: MazuNAT(f"nat{i}", external_ip=f"203.0.{i + 1}.1"),
+        lambda i: SnortIDS(f"ids{i}", RULES_TEXT),
+        lambda i: DosPrevention(f"dos{i}", threshold=4, mode="packets"),
+        lambda i: SyntheticNF(f"rd{i}", sf_payload_class=PayloadClass.READ, sf_work_cycles=10),
+        lambda i: SyntheticNF(f"wr{i}", sf_payload_class=PayloadClass.WRITE, sf_work_cycles=10),
+    ]
+
+
+def chain_strategy():
+    factories = nf_factories()
+    return st.lists(st.integers(0, len(factories) - 1), min_size=1, max_size=4)
+
+
+def flows_strategy():
+    payloads = st.sampled_from([b"", b"hello", b"needle in here", b"x" * 40])
+    return st.lists(
+        st.tuples(
+            st.integers(1, 8),      # data packets
+            st.booleans(),          # handshake
+            st.booleans(),          # fin
+            payloads,
+            st.sampled_from([80, 443, 9999]),  # dst port (9999 = blacklisted)
+        ),
+        min_size=1,
+        max_size=4,
+    )
+
+
+def build_chain(indices):
+    factories = nf_factories()
+    return [factories[index](position) for position, index in enumerate(indices)]
+
+
+def build_packets(flow_params, interleave):
+    specs = []
+    for flow_index, (count, handshake, fin, payload, dport) in enumerate(flow_params):
+        specs.append(
+            FlowSpec.tcp(
+                f"10.0.{flow_index}.1",
+                "20.0.0.1",
+                1000 + flow_index,
+                dport,
+                packets=count,
+                payload=payload,
+                handshake=handshake,
+                fin=fin,
+            )
+        )
+    return TrafficGenerator(specs, interleave=interleave).packets()
+
+
+class TestRandomChainEquivalence:
+    @given(
+        indices=chain_strategy(),
+        flow_params=flows_strategy(),
+        interleave=st.sampled_from(["sequential", "round_robin"]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_outputs_identical(self, indices, flow_params, interleave):
+        packets = build_packets(flow_params, interleave)
+        baseline = ServiceChain(build_chain(indices))
+        speedybox = SpeedyBox(build_chain(indices))
+
+        base_packets = clone_packets(packets)
+        sbox_packets = clone_packets(packets)
+        for packet in base_packets:
+            baseline.process(packet)
+        for packet in sbox_packets:
+            speedybox.process(packet)
+
+        for index, (base_pkt, sbox_pkt) in enumerate(zip(base_packets, sbox_packets)):
+            assert base_pkt.dropped == sbox_pkt.dropped, f"packet {index} drop mismatch"
+            if not base_pkt.dropped:
+                assert base_pkt.serialize() == sbox_pkt.serialize(), f"packet {index} bytes differ"
+
+    @given(
+        indices=chain_strategy(),
+        flow_params=flows_strategy(),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_monitor_state_identical(self, indices, flow_params):
+        # Append a Monitor at the end of every random chain: its counters
+        # aggregate everything the chain let through.
+        packets = build_packets(flow_params, "round_robin")
+
+        def with_tail_monitor():
+            return build_chain(indices) + [Monitor("tailmon")]
+
+        baseline = ServiceChain(with_tail_monitor())
+        speedybox = SpeedyBox(with_tail_monitor())
+        for packet in clone_packets(packets):
+            baseline.process(packet)
+        for packet in clone_packets(packets):
+            speedybox.process(packet)
+
+        base_monitor = baseline.nfs[-1]
+        sbox_monitor = speedybox.nfs[-1]
+        assert base_monitor.counters == sbox_monitor.counters
+
+    @given(indices=chain_strategy(), flow_params=flows_strategy())
+    @settings(max_examples=30, deadline=None)
+    def test_parallelism_flag_does_not_change_semantics(self, indices, flow_params):
+        packets = build_packets(flow_params, "sequential")
+        parallel = SpeedyBox(build_chain(indices), enable_parallelism=True)
+        sequential = SpeedyBox(build_chain(indices), enable_parallelism=False)
+        p_packets = clone_packets(packets)
+        s_packets = clone_packets(packets)
+        for packet in p_packets:
+            parallel.process(packet)
+        for packet in s_packets:
+            sequential.process(packet)
+        for p_pkt, s_pkt in zip(p_packets, s_packets):
+            assert p_pkt.dropped == s_pkt.dropped
+            if not p_pkt.dropped:
+                assert p_pkt.serialize() == s_pkt.serialize()

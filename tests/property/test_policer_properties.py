@@ -1,0 +1,69 @@
+"""Property test: policer equivalence under arbitrary burst patterns.
+
+The policer is the most event-intensive NF in the repo — its verdict can
+flip on any packet.  Fuzz random timestamp sequences and rates and
+require the baseline and SpeedyBox drop patterns to be identical, packet
+for packet.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.framework import ServiceChain, SpeedyBox
+from repro.net import FiveTuple, Packet
+from repro.nf.policer import TokenBucketPolicer
+
+
+def build_packets(gaps_us, sport=1000):
+    packets = []
+    timestamp = 0.0
+    for index, gap_us in enumerate(gaps_us):
+        timestamp += gap_us * 1000.0
+        packet = Packet.from_five_tuple(
+            FiveTuple.make("10.0.0.1", "10.0.0.2", sport, 80),
+            payload=b"p",
+            timestamp_ns=timestamp,
+        )
+        packets.append(packet)
+    return packets
+
+
+class TestPolicerFuzz:
+    @given(
+        gaps_us=st.lists(st.floats(0.0, 500.0), min_size=2, max_size=40),
+        rate_kpps=st.sampled_from([1.0, 10.0, 100.0]),
+        burst=st.integers(1, 8),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_drop_pattern_identical(self, gaps_us, rate_kpps, burst):
+        packets = build_packets(gaps_us)
+        baseline = ServiceChain([TokenBucketPolicer("p", rate_pps=rate_kpps * 1000, burst=burst)])
+        speedybox = SpeedyBox([TokenBucketPolicer("p", rate_pps=rate_kpps * 1000, burst=burst)])
+
+        base_pattern = []
+        for packet in [p.clone() for p in packets]:
+            baseline.process(packet)
+            base_pattern.append(packet.dropped)
+        sbox_pattern = []
+        for packet in [p.clone() for p in packets]:
+            speedybox.process(packet)
+            sbox_pattern.append(packet.dropped)
+
+        assert base_pattern == sbox_pattern
+
+    @given(
+        gaps_us=st.lists(st.floats(0.0, 200.0), min_size=2, max_size=30),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_bucket_state_converges(self, gaps_us):
+        packets = build_packets(gaps_us)
+        baseline = ServiceChain([TokenBucketPolicer("p", rate_pps=50_000, burst=3)])
+        speedybox = SpeedyBox([TokenBucketPolicer("p", rate_pps=50_000, burst=3)])
+        for packet in [p.clone() for p in packets]:
+            baseline.process(packet)
+        for packet in [p.clone() for p in packets]:
+            speedybox.process(packet)
+        key = packets[0].five_tuple()
+        base_bucket = baseline.nfs[0].buckets[key]
+        sbox_bucket = speedybox.nfs[0].buckets[key]
+        assert abs(base_bucket.tokens - sbox_bucket.tokens) < 1e-9
+        assert base_bucket.last_refill_ns == sbox_bucket.last_refill_ns

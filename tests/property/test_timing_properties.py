@@ -1,0 +1,93 @@
+"""Property tests on the timing model: invariants that must hold for any
+chain composition and any traffic."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.framework import ServiceChain, SpeedyBox
+from repro.core.state_function import PayloadClass
+from repro.nf import IPFilter, Monitor, SyntheticNF
+from repro.platform import BessPlatform, OpenNetVMPlatform, PlatformConfig
+from repro.traffic import FlowSpec, TrafficGenerator
+from repro.traffic.generator import clone_packets
+
+
+def chain_strategy():
+    """Random chains of up to 5 NFs mixing payload classes and costs."""
+
+    def build(params):
+        nfs = []
+        for index, (kind, cycles) in enumerate(params):
+            if kind == 0:
+                nfs.append(Monitor(f"mon{index}"))
+            elif kind == 1:
+                nfs.append(IPFilter(f"fw{index}"))
+            else:
+                payload_class = [PayloadClass.IGNORE, PayloadClass.READ, PayloadClass.WRITE][kind - 2]
+                nfs.append(
+                    SyntheticNF(f"syn{index}", sf_payload_class=payload_class, sf_work_cycles=cycles)
+                )
+        return nfs
+
+    return st.lists(
+        st.tuples(st.integers(0, 4), st.floats(10.0, 3000.0)),
+        min_size=1,
+        max_size=5,
+    ).map(build)
+
+
+def run_packets(platform, count=4):
+    spec = FlowSpec.tcp("10.0.0.1", "10.0.0.2", 1000, 80, packets=count, payload=b"pp")
+    return platform.process_all(
+        clone_packets(TrafficGenerator([spec]).packets())
+    )
+
+
+class TestTimingInvariants:
+    @given(nfs=chain_strategy(), workers=st.integers(1, 8))
+    @settings(max_examples=60, deadline=None)
+    def test_work_dominates_latency_dominates_main_core(self, nfs, workers):
+        platform = BessPlatform(SpeedyBox(nfs), PlatformConfig(worker_cores=workers))
+        for outcome in run_packets(platform):
+            assert outcome.work_cycles >= outcome.latency_cycles - 1e-9
+            assert outcome.latency_cycles >= outcome.main_core_cycles - 1e-9
+            assert outcome.latency_cycles > 0
+
+    @given(nfs=chain_strategy())
+    @settings(max_examples=40, deadline=None)
+    def test_onvm_never_cheaper_than_bess_on_slow_path(self, nfs):
+        # Ring hops cost at least as much as in-process dispatch under
+        # the default model; the slow path must reflect that.
+        def rebuild():
+            import copy
+
+            return copy.deepcopy(nfs)
+
+        bess = BessPlatform(ServiceChain(rebuild()))
+        onvm = OpenNetVMPlatform(ServiceChain(rebuild()))
+        bess_first = run_packets(bess, count=1)[0]
+        onvm_first = run_packets(onvm, count=1)[0]
+        assert onvm_first.latency_cycles >= bess_first.latency_cycles - 1e-9
+
+    @given(nfs=chain_strategy())
+    @settings(max_examples=40, deadline=None)
+    def test_more_workers_never_hurt_latency(self, nfs):
+        import copy
+
+        few = BessPlatform(SpeedyBox(copy.deepcopy(nfs)), PlatformConfig(worker_cores=1))
+        many = BessPlatform(SpeedyBox(copy.deepcopy(nfs)), PlatformConfig(worker_cores=8))
+        few_last = run_packets(few)[-1]
+        many_last = run_packets(many)[-1]
+        assert many_last.latency_cycles <= few_last.latency_cycles + 1e-9
+
+    @given(nfs=chain_strategy(), batch=st.integers(1, 64))
+    @settings(max_examples=40, deadline=None)
+    def test_batching_only_reduces_nic_share(self, nfs, batch):
+        import copy
+
+        unbatched = BessPlatform(ServiceChain(copy.deepcopy(nfs)))
+        batched = BessPlatform(ServiceChain(copy.deepcopy(nfs)), PlatformConfig(batch_size=batch))
+        u = run_packets(unbatched, count=1)[0]
+        b = run_packets(batched, count=1)[0]
+        model = unbatched.costs
+        expected_saving = (model.nic_rx + model.nic_tx) * (1.0 - 1.0 / batch)
+        assert u.work_cycles - b.work_cycles == __import__("pytest").approx(expected_saving)

@@ -1,0 +1,82 @@
+"""Calibration pins: exact cycle counts for the canonical paths.
+
+These numbers ARE the calibration (docs/cost_model.md): the benchmarks
+assert shapes, this suite pins the absolute anchor values so that a cost
+constant can only move together with a conscious update here and in the
+docs.  If you changed CostModel on purpose, update these pins and the
+calibration table in docs/cost_model.md in the same commit.
+"""
+
+import pytest
+
+from benchmarks.harness import chain_cycles
+from repro.core.framework import ServiceChain, SpeedyBox
+from repro.nf import IPFilter
+from repro.nf.ipfilter import AclRule, Verdict
+from repro.platform import BessPlatform, OpenNetVMPlatform
+from repro.traffic import FlowSpec, TrafficGenerator
+from repro.traffic.generator import clone_packets
+
+
+def packets(n=4):
+    spec = FlowSpec.tcp("10.0.0.1", "10.0.0.2", 1000, 80, packets=n, payload=b"x" * 26)
+    return TrafficGenerator([spec]).packets()
+
+
+def sub_outcome(platform):
+    return platform.process_all(clone_packets(packets()))[-1]
+
+
+class TestBessPins:
+    def test_single_ipfilter_hop_is_530(self):
+        """The Table III anchor: dispatch(270)+parse(180)+lookup(80)."""
+        outcome = sub_outcome(BessPlatform(ServiceChain([IPFilter("fw")])))
+        assert chain_cycles(outcome) == pytest.approx(530.0)
+
+    def test_fast_path_forward_rule_is_600(self):
+        """parse(180)+fid(45)+attach(15)+lookup(150)+dispatch(200)+detach(10)."""
+        outcome = sub_outcome(BessPlatform(SpeedyBox([IPFilter("fw")])))
+        assert chain_cycles(outcome) == pytest.approx(600.0)
+
+    def test_fast_path_one_modify_rule_is_750(self):
+        """forward rule + field_write(60) + checksum(90)."""
+        outcome = sub_outcome(BessPlatform(SpeedyBox([IPFilter("fw", mark_dscp=9)])))
+        assert chain_cycles(outcome) == pytest.approx(750.0)
+
+    def test_fast_path_extra_merged_field_is_35(self):
+        two = sub_outcome(
+            BessPlatform(SpeedyBox([IPFilter("a", mark_dscp=9), IPFilter("b", mark_dscp=9)]))
+        )
+        # Same field twice merges to ONE op: still 750.
+        assert chain_cycles(two) == pytest.approx(750.0)
+        from repro.nf import MazuNAT
+
+        nat_fw = sub_outcome(
+            BessPlatform(SpeedyBox([MazuNAT("nat"), IPFilter("fw", mark_dscp=9)]))
+        )
+        # src_ip+src_port+dscp = 1 field_write + 2 merged (35 each).
+        assert chain_cycles(nat_fw) == pytest.approx(750.0 + 2 * 35.0)
+
+    def test_fast_drop_rule_is_660(self):
+        """forward rule + drop_free(60)."""
+        fw = IPFilter("fw", rules=[AclRule.make(verdict=Verdict.DROP)])
+        outcome = sub_outcome(BessPlatform(SpeedyBox([fw])))
+        assert chain_cycles(outcome) == pytest.approx(660.0)
+
+
+class TestOnvmPins:
+    def test_single_ipfilter_hop_is_700(self):
+        """BESS hop minus dispatch(270) plus ring(70+70)+sync(300)."""
+        outcome = sub_outcome(OpenNetVMPlatform(ServiceChain([IPFilter("fw")])))
+        assert chain_cycles(outcome) == pytest.approx(700.0)
+
+    def test_fast_path_tx_ring_premium_is_140(self):
+        bess = sub_outcome(BessPlatform(SpeedyBox([IPFilter("a")])))
+        onvm = sub_outcome(OpenNetVMPlatform(SpeedyBox([IPFilter("b")])))
+        assert chain_cycles(onvm) - chain_cycles(bess) == pytest.approx(140.0)
+
+
+class TestClockPin:
+    def test_two_gigahertz(self):
+        outcome = sub_outcome(BessPlatform(ServiceChain([IPFilter("fw")])))
+        assert outcome.latency_ns == pytest.approx(outcome.latency_cycles / 2.0)

@@ -1,0 +1,113 @@
+"""Unit tests for the Packet Classifier (repro.core.classifier)."""
+
+from repro.core.classifier import FID_BITS, FID_SPACE, PacketClassifier, fid_of
+from repro.net import FiveTuple, Packet, PROTO_UDP
+from repro.net.headers import TCP_ACK, TCP_FIN, TCP_RST, TCP_SYN
+
+
+def tcp_packet(src="10.0.0.1", dst="10.0.0.2", sport=1000, dport=80, flags=TCP_ACK):
+    return Packet.from_five_tuple(FiveTuple.make(src, dst, sport, dport), tcp_flags=flags)
+
+
+class TestFidHash:
+    def test_fid_fits_20_bits(self):
+        ft = FiveTuple.make("10.0.0.1", "10.0.0.2", 1000, 80)
+        assert 0 <= fid_of(ft) < FID_SPACE
+        assert FID_BITS == 20
+
+    def test_fid_deterministic(self):
+        ft = FiveTuple.make("10.0.0.1", "10.0.0.2", 1000, 80)
+        assert fid_of(ft) == fid_of(FiveTuple.make("10.0.0.1", "10.0.0.2", 1000, 80))
+
+    def test_different_flows_usually_differ(self):
+        fids = {
+            fid_of(FiveTuple.make("10.0.0.1", "10.0.0.2", 1000 + i, 80)) for i in range(200)
+        }
+        # 200 flows in a 1M-slot space: collisions are possible but the
+        # hash must not degenerate.
+        assert len(fids) >= 195
+
+    def test_direction_sensitive(self):
+        ft = FiveTuple.make("10.0.0.1", "10.0.0.2", 1000, 80)
+        assert fid_of(ft) != fid_of(ft.reversed())
+
+
+class TestClassification:
+    def test_attaches_fid_metadata(self):
+        classifier = PacketClassifier()
+        packet = tcp_packet()
+        decision = classifier.classify(packet)
+        assert packet.metadata["fid"] == decision.fid
+
+    def test_detach_removes_metadata(self):
+        classifier = PacketClassifier()
+        packet = tcp_packet()
+        classifier.classify(packet)
+        classifier.detach(packet)
+        assert "fid" not in packet.metadata
+
+    def test_syn_is_handshake_until_established(self):
+        classifier = PacketClassifier()
+        syn = classifier.classify(tcp_packet(flags=TCP_SYN))
+        assert syn.is_handshake
+        assert not syn.fast_path_eligible
+        data = classifier.classify(tcp_packet(flags=TCP_ACK))
+        assert not data.is_handshake
+        assert data.fast_path_eligible
+
+    def test_syn_after_establishment_not_handshake(self):
+        # Retransmitted SYN on an established flow stays on normal rules.
+        classifier = PacketClassifier()
+        classifier.classify(tcp_packet(flags=TCP_ACK))
+        retrans = classifier.classify(tcp_packet(flags=TCP_SYN))
+        assert not retrans.is_handshake
+
+    def test_udp_established_immediately(self):
+        classifier = PacketClassifier()
+        packet = Packet.from_five_tuple(
+            FiveTuple.make("10.0.0.1", "10.0.0.2", 53, 5353, protocol=PROTO_UDP)
+        )
+        decision = classifier.classify(packet)
+        assert not decision.is_handshake
+        assert decision.fast_path_eligible
+
+    def test_fin_marks_closing(self):
+        classifier = PacketClassifier()
+        classifier.classify(tcp_packet())
+        fin = classifier.classify(tcp_packet(flags=TCP_FIN | TCP_ACK))
+        assert fin.is_closing
+
+    def test_rst_marks_closing(self):
+        classifier = PacketClassifier()
+        classifier.classify(tcp_packet())
+        rst = classifier.classify(tcp_packet(flags=TCP_RST))
+        assert rst.is_closing
+
+    def test_flow_entry_counts_packets(self):
+        classifier = PacketClassifier()
+        first = classifier.classify(tcp_packet())
+        classifier.classify(tcp_packet())
+        assert classifier.flow(first.fid).packets == 2
+
+    def test_remove_flow(self):
+        classifier = PacketClassifier()
+        decision = classifier.classify(tcp_packet())
+        assert classifier.remove_flow(decision.fid)
+        assert classifier.flow(decision.fid) is None
+        assert not classifier.remove_flow(decision.fid)
+
+
+class TestCollisions:
+    def test_collision_detected_and_pinned_slow(self):
+        classifier = PacketClassifier()
+        packet = tcp_packet()
+        decision = classifier.classify(packet)
+        # Forge a second flow owning the same FID.
+        other = tcp_packet(src="10.9.9.9", sport=4321)
+        classifier._flows[decision.fid].five_tuple = other.five_tuple().reversed()
+        redecision = classifier.classify(packet)
+        assert redecision.collided
+        assert not redecision.fast_path_eligible
+        assert not redecision.may_record
+        assert classifier.collisions == 1
+        assert packet.metadata.get("fid_collision")

@@ -1,0 +1,102 @@
+"""Unit tests for the command-line interface (repro.cli)."""
+
+import pytest
+
+from repro.cli import NF_CATALOGUE, build_chain, main
+
+
+class TestChainSpec:
+    def test_builds_named_nfs(self):
+        chain = build_chain("nat,monitor,firewall")
+        assert [type(nf).__name__ for nf in chain] == ["MazuNAT", "Monitor", "IPFilter"]
+
+    def test_instances_are_uniquely_named(self):
+        chain = build_chain("monitor,monitor,monitor")
+        assert len({nf.name for nf in chain}) == 3
+
+    def test_unknown_nf_rejected(self):
+        with pytest.raises(SystemExit):
+            build_chain("nat,frobnicator")
+
+    def test_empty_spec_rejected(self):
+        with pytest.raises(SystemExit):
+            build_chain(" , ,")
+
+    def test_catalogue_covers_all_nf_families(self):
+        assert {"nat", "maglev", "monitor", "firewall", "snort"} <= set(NF_CATALOGUE)
+
+
+class TestDemoCommand:
+    def test_demo_prints_summary(self, capsys):
+        assert main(["demo", "--flows", "6", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "original" in out
+        assert "speedybox" in out
+        assert "p50 latency reduction" in out
+
+    def test_demo_no_speedybox(self, capsys):
+        assert main(["demo", "--flows", "4", "--no-speedybox"]) == 0
+        out = capsys.readouterr().out
+        assert "speedybox" not in out
+
+    def test_demo_onvm_platform(self, capsys):
+        assert main(["demo", "--flows", "4", "--platform", "onvm",
+                     "--chain", "monitor,firewall"]) == 0
+        assert "onvm" in capsys.readouterr().out
+
+    def test_list_nfs(self, capsys):
+        assert main(["demo", "--list-nfs"]) == 0
+        out = capsys.readouterr().out
+        assert "maglev" in out
+        assert "snort" in out
+
+    def test_dump_rules(self, capsys):
+        assert main(["demo", "--flows", "4", "--dump-rules", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "fid=" in out
+        assert "action  :" in out
+
+
+class TestEquivalenceCommand:
+    def test_no_mismatches_returns_zero(self, capsys):
+        assert main(["equivalence", "--flows", "8", "--seed", "2"]) == 0
+        assert "0 mismatches" in capsys.readouterr().out
+
+    def test_custom_chain(self, capsys):
+        assert main(["equivalence", "--chain", "snort,monitor", "--flows", "6"]) == 0
+
+
+class TestSweepCommand:
+    def test_sweep_lists_lengths(self, capsys):
+        assert main(["sweep", "--max-length", "3", "--flows", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "chain length" in out
+        assert "3" in out
+
+    def test_onvm_capped_at_five(self, capsys):
+        assert main(["sweep", "--platform", "onvm", "--max-length", "9", "--flows", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "\n6 " not in out  # rows stop at 5
+
+
+class TestTraceCommand:
+    def test_generate_and_inspect(self, tmp_path, capsys):
+        path = str(tmp_path / "t.sbtr")
+        assert main(["trace", "--generate", path, "--flows", "4"]) == 0
+        assert main(["trace", "--inspect", path]) == 0
+        out = capsys.readouterr().out
+        assert "4 flows" in out
+
+    def test_convert_to_pcap(self, tmp_path, capsys):
+        sbtr = str(tmp_path / "t.sbtr")
+        pcap = str(tmp_path / "t.pcap")
+        assert main(["trace", "--generate", sbtr, "--flows", "3"]) == 0
+        assert main(["trace", "--to-pcap", sbtr, pcap]) == 0
+        assert "Wireshark" in capsys.readouterr().out
+        from repro.net.pcap import load_pcap
+        from repro.net.trace import load_trace
+
+        assert len(load_pcap(pcap)) == len(load_trace(sbtr))
+
+    def test_missing_args_errors(self, capsys):
+        assert main(["trace"]) == 2

@@ -1,0 +1,134 @@
+"""Unit tests for the Event Table (repro.core.event_table)."""
+
+import pytest
+
+from repro.core.actions import Drop, Modify
+from repro.core.event_table import Event, EventTable
+
+
+class TestEvent:
+    def test_requires_an_update(self):
+        with pytest.raises(ValueError):
+            Event(fid=1, nf_name="nf", condition=lambda: True)
+
+    def test_requires_callable_condition(self):
+        with pytest.raises(TypeError):
+            Event(fid=1, nf_name="nf", condition="nope", update_action=Drop())  # type: ignore[arg-type]
+
+    def test_check_evaluates_with_args(self):
+        event = Event(1, "nf", condition=lambda a, b: a > b, args=(3, 2), update_action=Drop())
+        assert event.check()
+        event2 = Event(1, "nf", condition=lambda a, b: a > b, args=(1, 2), update_action=Drop())
+        assert not event2.check()
+
+    def test_fire_returns_update_action(self):
+        event = Event(1, "nf", condition=lambda: True, update_action=Drop())
+        assert isinstance(event.fire(), Drop)
+        assert event.triggered
+        assert event.trigger_count == 1
+
+    def test_fire_runs_update_function(self):
+        calls = []
+
+        def update():
+            calls.append("ran")
+            return Modify.set(ttl=1)
+
+        event = Event(1, "nf", condition=lambda: True, update_function=update)
+        replacement = event.fire()
+        assert calls == ["ran"]
+        assert isinstance(replacement, Modify)
+
+    def test_explicit_action_overrides_function_result(self):
+        event = Event(
+            1,
+            "nf",
+            condition=lambda: True,
+            update_action=Drop(),
+            update_function=lambda: Modify.set(ttl=1),
+        )
+        assert isinstance(event.fire(), Drop)
+
+    def test_one_shot_deactivates(self):
+        event = Event(1, "nf", condition=lambda: True, update_action=Drop())
+        assert event.active
+        event.fire()
+        assert not event.active
+
+    def test_recurring_event_stays_active(self):
+        event = Event(1, "nf", condition=lambda: True, update_action=Drop(), one_shot=False)
+        event.fire()
+        assert event.active
+
+
+class TestEventTable:
+    def test_register_and_lookup(self):
+        table = EventTable()
+        event = Event(5, "nf", condition=lambda: False, update_action=Drop())
+        table.register(event)
+        assert table.events_for(5) == [event]
+        assert table.events_for(6) == []
+        assert len(table) == 1
+
+    def test_check_fid_fires_matching(self):
+        table = EventTable()
+        state = {"count": 0}
+        event = Event(5, "nf", condition=lambda: state["count"] > 2, update_action=Drop())
+        table.register(event)
+        assert table.check_fid(5) == []
+        state["count"] = 3
+        fired = table.check_fid(5)
+        assert len(fired) == 1
+        assert fired[0][0] is event
+        assert isinstance(fired[0][1], Drop)
+
+    def test_one_shot_not_rechecked(self):
+        table = EventTable()
+        table.register(Event(1, "nf", condition=lambda: True, update_action=Drop()))
+        assert len(table.check_fid(1)) == 1
+        assert table.check_fid(1) == []
+        assert table.active_event_count(1) == 0
+
+    def test_recurring_event_refires_while_condition_holds(self):
+        table = EventTable()
+        flag = {"on": True}
+        table.register(
+            Event(1, "nf", condition=lambda: flag["on"], update_action=Drop(), one_shot=False)
+        )
+        assert len(table.check_fid(1)) == 1
+        assert len(table.check_fid(1)) == 1
+        flag["on"] = False
+        assert table.check_fid(1) == []
+
+    def test_clear_flow(self):
+        table = EventTable()
+        table.register(Event(1, "nf", condition=lambda: True, update_action=Drop()))
+        table.clear_flow(1)
+        assert table.check_fid(1) == []
+        assert len(table) == 0
+
+    def test_clear_nf_flow_only_removes_that_nf(self):
+        table = EventTable()
+        table.register(Event(1, "a", condition=lambda: True, update_action=Drop()))
+        table.register(Event(1, "b", condition=lambda: True, update_action=Drop()))
+        table.clear_nf_flow(1, "a")
+        remaining = table.events_for(1)
+        assert len(remaining) == 1
+        assert remaining[0].nf_name == "b"
+
+    def test_stats_counters(self):
+        table = EventTable()
+        table.register(Event(1, "nf", condition=lambda: True, update_action=Drop()))
+        table.check_fid(1)
+        assert table.total_registered == 1
+        assert table.total_triggered == 1
+        assert table.total_checks == 1
+
+    def test_multiple_events_fire_in_registration_order(self):
+        table = EventTable()
+        first = Event(1, "a", condition=lambda: True, update_action=Drop())
+        second = Event(1, "b", condition=lambda: True, update_action=Drop())
+        table.register(first)
+        table.register(second)
+        fired = [event for event, __ in table.check_fid(1)]
+        assert fired == [first, second]

@@ -1,0 +1,119 @@
+"""Unit tests for Global MAT capacity management (LRU eviction)."""
+
+import pytest
+
+from repro.core.actions import Forward
+from repro.core.framework import PathTaken, SpeedyBox
+from repro.core.global_mat import GlobalMAT
+from repro.core.local_mat import LocalMAT
+from repro.nf import Monitor
+from repro.traffic import FlowSpec, TrafficGenerator
+
+
+def local_rule(nf_name, fid):
+    mat = LocalMAT(nf_name)
+    mat.add_header_action(fid, Forward())
+    return mat.rule_for(fid)
+
+
+def install(gmat, fid):
+    gmat.build_rule(fid, [("nf", local_rule("nf", fid))])
+
+
+class TestGlobalMATCapacity:
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            GlobalMAT(capacity=0)
+
+    def test_unbounded_by_default(self):
+        gmat = GlobalMAT()
+        for fid in range(100):
+            install(gmat, fid)
+        assert len(gmat) == 100
+
+    def test_lru_eviction_order(self):
+        gmat = GlobalMAT(capacity=3)
+        for fid in (1, 2, 3):
+            install(gmat, fid)
+        gmat.lookup(1)  # refresh flow 1
+        install(gmat, 4)  # evicts flow 2, the least recently used
+        assert set(gmat.flows()) == {1, 3, 4}
+        assert gmat.evictions == 1
+
+    def test_newly_installed_rule_never_evicted(self):
+        gmat = GlobalMAT(capacity=1)
+        install(gmat, 1)
+        install(gmat, 2)
+        assert set(gmat.flows()) == {2}
+
+    def test_on_evict_callback(self):
+        evicted = []
+        gmat = GlobalMAT(capacity=2, on_evict=evicted.append)
+        for fid in (1, 2, 3, 4):
+            install(gmat, fid)
+        assert evicted == [1, 2]
+
+    def test_reinstall_does_not_grow(self):
+        gmat = GlobalMAT(capacity=2)
+        install(gmat, 1)
+        install(gmat, 1)
+        install(gmat, 1)
+        assert len(gmat) == 1
+        assert gmat.evictions == 0
+
+
+class TestSpeedyBoxMaxFlows:
+    def flow_packets(self, sport, n=3):
+        spec = FlowSpec.tcp("10.0.0.1", "10.0.0.2", sport, 80, packets=n, payload=b"x")
+        return TrafficGenerator([spec]).packets()
+
+    def test_evicted_flow_falls_back_and_reconsolidates(self):
+        sbox = SpeedyBox([Monitor("m")], max_flows=2)
+        # Establish three flows: the first flow's rule gets evicted.
+        for sport in (1000, 2000, 3000):
+            for packet in self.flow_packets(sport):
+                sbox.process(packet)
+        assert len(sbox.global_mat) == 2
+        assert sbox.global_mat.evictions >= 1
+
+        # The evicted flow's next packet takes the original path, then
+        # the one after is fast again.
+        paths = [sbox.process(p).path for p in self.flow_packets(1000, n=2)]
+        assert paths[0] is PathTaken.ORIGINAL
+        assert paths[1] is PathTaken.FAST
+
+    def test_eviction_clears_local_records(self):
+        sbox = SpeedyBox([Monitor("m")], max_flows=1)
+        first = self.flow_packets(1000)
+        second = self.flow_packets(2000)
+        fid_first = None
+        for packet in first:
+            fid_first = sbox.process(packet).fid
+        for packet in second:
+            sbox.process(packet)
+        assert fid_first not in sbox.local_mats["m"]
+        assert sbox.event_table.events_for(fid_first) == []
+
+    def test_monitor_counters_still_exact_under_pressure(self):
+        # Equivalence survives thrashing: counters match a baseline even
+        # when every flow keeps evicting the others.
+        from repro.core.framework import ServiceChain
+        from repro.traffic.generator import clone_packets
+
+        flows = [
+            FlowSpec.tcp("10.0.0.1", "10.0.0.2", 1000 + i, 80, packets=4, payload=b"y")
+            for i in range(5)
+        ]
+        packets = TrafficGenerator(flows, interleave="round_robin").packets()
+        baseline = ServiceChain([Monitor("m")])
+        sbox = SpeedyBox([Monitor("m")], max_flows=2)
+        for packet in clone_packets(packets):
+            baseline.process(packet)
+        for packet in clone_packets(packets):
+            sbox.process(packet)
+        assert baseline.nfs[0].counters == sbox.nfs[0].counters
+
+    def test_reset_preserves_max_flows(self):
+        sbox = SpeedyBox([Monitor("m")], max_flows=2)
+        sbox.reset()
+        assert sbox.global_mat.capacity == 2

@@ -1,0 +1,83 @@
+"""Unit tests for flow-close hook wiring (handle_flow_close on FIN/RST)."""
+
+from repro.core.framework import ServiceChain, SpeedyBox
+from repro.net.headers import TCP_RST
+from repro.nf import IPFilter, MazuNAT, SnortIDS
+from repro.traffic import FlowSpec, TrafficGenerator
+from repro.traffic.generator import clone_packets
+
+RULES = 'alert tcp any any -> any any (content:"x"; sid:1;)'
+
+
+def fin_flow(sport=1000, packets=3):
+    spec = FlowSpec.tcp("10.0.0.1", "20.0.0.1", sport, 80, packets=packets,
+                        payload=b"x", fin=True)
+    return TrafficGenerator([spec]).packets()
+
+
+class TestHooksFireOnBothRuntimes:
+    def test_nat_mapping_released_baseline(self):
+        nat = MazuNAT("nat")
+        chain = ServiceChain([nat])
+        for packet in fin_flow():
+            chain.process(packet)
+        assert not nat.mappings
+
+    def test_nat_mapping_released_speedybox(self):
+        nat = MazuNAT("nat")
+        sbox = SpeedyBox([nat])
+        for packet in fin_flow():
+            sbox.process(packet)
+        assert not nat.mappings
+
+    def test_nat_port_reused_across_flow_generations(self):
+        nat = MazuNAT("nat", port_range=(10000, 10000))  # a single port
+        sbox = SpeedyBox([nat])
+        for packet in fin_flow(sport=1000):
+            sbox.process(packet)
+        # Same single external port must be reusable by the next flow.
+        for packet in fin_flow(sport=2000):
+            sbox.process(packet)
+        assert nat.translations == 2
+
+    def test_firewall_cache_and_snort_matchers_evicted(self):
+        fw = IPFilter("fw")
+        ids = SnortIDS("ids", RULES)
+        sbox = SpeedyBox([fw, ids])
+        for packet in fin_flow():
+            sbox.process(packet)
+        assert not fw._verdict_cache
+        assert not ids.flow_matchers
+
+    def test_rst_also_triggers_hooks(self):
+        from repro.net import Packet, FiveTuple
+
+        nat = MazuNAT("nat")
+        sbox = SpeedyBox([nat])
+        packets = fin_flow(packets=2)[:-1]  # drop the FIN
+        for packet in packets:
+            sbox.process(packet)
+        assert nat.mappings
+        rst = Packet.from_five_tuple(
+            FiveTuple.make("10.0.0.1", "20.0.0.1", 1000, 80), tcp_flags=TCP_RST
+        )
+        sbox.process(rst)
+        assert not nat.mappings
+
+    def test_hooks_do_not_fire_mid_flow(self):
+        nat = MazuNAT("nat")
+        sbox = SpeedyBox([nat])
+        for packet in fin_flow(packets=3)[:-1]:  # no FIN yet
+            sbox.process(packet)
+        assert nat.mappings
+
+    def test_hooks_fire_even_for_unestablished_flows(self):
+        # A lone RST (no flow state anywhere) must not crash the hooks.
+        from repro.net import Packet, FiveTuple
+
+        sbox = SpeedyBox([MazuNAT("nat"), IPFilter("fw")])
+        rst = Packet.from_five_tuple(
+            FiveTuple.make("10.0.0.9", "20.0.0.1", 4444, 80), tcp_flags=TCP_RST
+        )
+        report = sbox.process(rst)
+        assert report.closing

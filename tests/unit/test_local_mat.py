@@ -1,0 +1,131 @@
+"""Unit tests for Local MATs and the instrumentation API (repro.core.local_mat)."""
+
+import pytest
+
+from repro.core.actions import Drop, Forward, Modify
+from repro.core.event_table import EventTable
+from repro.core.local_mat import InstrumentationAPI, LocalMAT, NullInstrumentationAPI
+from repro.core.state_function import PayloadClass
+from repro.net import FiveTuple, Packet
+
+
+def make_packet(fid=None):
+    packet = Packet.from_five_tuple(FiveTuple.make("10.0.0.1", "10.0.0.2", 1, 2))
+    if fid is not None:
+        packet.metadata["fid"] = fid
+    return packet
+
+
+class TestLocalMAT:
+    def test_records_actions_in_order(self):
+        mat = LocalMAT("nf")
+        mat.add_header_action(7, Forward())
+        mat.add_header_action(7, Modify.set(ttl=3))
+        rule = mat.rule_for(7)
+        assert [type(a).__name__ for a in rule.header_actions] == ["Forward", "Modify"]
+
+    def test_state_functions_queued_in_order(self):
+        mat = LocalMAT("nf")
+        from repro.core.state_function import StateFunction
+
+        mat.add_state_function(7, StateFunction(lambda p: "a", PayloadClass.IGNORE, name="a"))
+        mat.add_state_function(7, StateFunction(lambda p: "b", PayloadClass.READ, name="b"))
+        rule = mat.rule_for(7)
+        assert [fn.name for fn in rule.sf_batch] == ["a", "b"]
+        assert rule.sf_batch.payload_class is PayloadClass.READ
+
+    def test_begin_recording_resets_rule(self):
+        mat = LocalMAT("nf")
+        mat.add_header_action(7, Drop())
+        mat.begin_recording(7)
+        assert mat.rule_for(7).header_actions == []
+
+    def test_begin_recording_clears_nf_events(self):
+        events = EventTable()
+        mat = LocalMAT("nf", events)
+        api = InstrumentationAPI(mat, events)
+        api.register_event(7, lambda: True, update_action=Drop())
+        assert len(events) == 1
+        mat.begin_recording(7)
+        assert len(events) == 0
+
+    def test_delete_flow(self):
+        mat = LocalMAT("nf")
+        mat.add_header_action(7, Forward())
+        assert mat.delete_flow(7)
+        assert 7 not in mat
+        assert not mat.delete_flow(7)
+
+    def test_replace_header_actions(self):
+        mat = LocalMAT("nf")
+        mat.add_header_action(7, Forward())
+        mat.replace_header_actions(7, [Drop()])
+        assert isinstance(mat.rule_for(7).header_actions[0], Drop)
+
+    def test_flows_listing(self):
+        mat = LocalMAT("nf")
+        mat.add_header_action(1, Forward())
+        mat.add_header_action(2, Forward())
+        assert set(mat.flows()) == {1, 2}
+
+
+class TestInstrumentationAPI:
+    def make_api(self):
+        events = EventTable()
+        mat = LocalMAT("nf", events)
+        return InstrumentationAPI(mat, events), mat, events
+
+    def test_nf_extract_fid_reads_metadata(self):
+        api, __, __ = self.make_api()
+        assert api.nf_extract_fid(make_packet(fid=42)) == 42
+
+    def test_nf_extract_fid_without_classifier_raises(self):
+        api, __, __ = self.make_api()
+        with pytest.raises(KeyError):
+            api.nf_extract_fid(make_packet())
+
+    def test_add_header_action_records(self):
+        api, mat, __ = self.make_api()
+        api.add_header_action(1, Drop())
+        assert isinstance(mat.rule_for(1).header_actions[0], Drop)
+
+    def test_add_state_function_binds_metadata(self):
+        api, mat, __ = self.make_api()
+        api.add_state_function(1, lambda p, k: None, PayloadClass.READ, args=("key",), name="fn")
+        fn = mat.rule_for(1).sf_batch.functions[0]
+        assert fn.name == "fn"
+        assert fn.nf_name == "nf"
+        assert fn.args == ("key",)
+        assert fn.payload_class is PayloadClass.READ
+
+    def test_register_event_lands_in_table(self):
+        api, __, events = self.make_api()
+        event = api.register_event(1, lambda: True, update_action=Drop())
+        assert events.events_for(1) == [event]
+        assert event.nf_name == "nf"
+
+    def test_paper_spelling_aliases(self):
+        api, mat, __ = self.make_api()
+        api.localmat_add_HA(1, Forward())
+        api.localmat_add_SF(1, lambda p: None, PayloadClass.IGNORE)
+        rule = mat.rule_for(1)
+        assert len(rule.header_actions) == 1
+        assert len(rule.sf_batch) == 1
+
+    def test_recording_flag(self):
+        api, __, __ = self.make_api()
+        assert api.recording
+        assert not NullInstrumentationAPI().recording
+
+
+class TestNullInstrumentationAPI:
+    def test_records_nothing(self):
+        api = NullInstrumentationAPI()
+        api.add_header_action(1, Drop())
+        api.add_state_function(1, lambda p: None, PayloadClass.READ)
+        assert api.register_event(1, lambda: True, update_action=Drop()) is None
+
+    def test_fid_defaults_to_minus_one(self):
+        api = NullInstrumentationAPI()
+        assert api.nf_extract_fid(make_packet()) == -1
+        assert api.nf_extract_fid(make_packet(fid=5)) == 5

@@ -1,0 +1,128 @@
+"""Unit tests for the VXLAN gateway NFs (repro.nf.gateway)."""
+
+import pytest
+
+from repro.core.local_mat import NullInstrumentationAPI
+from repro.net import FiveTuple, Packet, VxlanHeader
+from repro.nf.gateway import VniMap, VxlanGateway, VxlanTerminator
+
+
+def make_packet(dst="172.16.5.9", fid=1):
+    packet = Packet.from_five_tuple(FiveTuple.make("10.0.0.1", dst, 1000, 80))
+    packet.metadata["fid"] = fid
+    return packet
+
+
+class TestVniMap:
+    def test_exact_host(self):
+        table = VniMap([("172.16.5.9", 100)])
+        from repro.net.addresses import ip_to_int
+
+        assert table.lookup(ip_to_int("172.16.5.9")) == 100
+        assert table.lookup(ip_to_int("172.16.5.10")) is None
+
+    def test_prefix(self):
+        table = VniMap([("172.16.0.0/16", 200)])
+        from repro.net.addresses import ip_to_int
+
+        assert table.lookup(ip_to_int("172.16.99.1")) == 200
+        assert table.lookup(ip_to_int("172.17.0.1")) is None
+
+    def test_longest_prefix_wins(self):
+        table = VniMap([("172.16.0.0/16", 200), ("172.16.5.0/24", 300)])
+        from repro.net.addresses import ip_to_int
+
+        assert table.lookup(ip_to_int("172.16.5.1")) == 300
+        assert table.lookup(ip_to_int("172.16.6.1")) == 200
+
+    def test_default_route(self):
+        table = VniMap([("0.0.0.0/0", 1)])
+        assert table.lookup(0x01020304) == 1
+
+    def test_vni_range_checked(self):
+        with pytest.raises(ValueError):
+            VniMap([("10.0.0.0/8", 1 << 24)])
+
+    def test_bad_prefix_length(self):
+        with pytest.raises(ValueError):
+            VniMap([("10.0.0.0/40", 1)])
+
+
+class TestVxlanGateway:
+    def test_mapped_traffic_encapsulated_and_marked(self):
+        gateway = VxlanGateway("gw", VniMap([("172.16.0.0/16", 42)]), underlay_dscp=26)
+        packet = make_packet()
+        gateway.process(packet, NullInstrumentationAPI())
+        assert isinstance(packet.peek_encap(), VxlanHeader)
+        assert packet.peek_encap().vni == 42
+        assert packet.ip.dscp == 26
+        assert gateway.encapsulated == 1
+
+    def test_unmapped_traffic_passes_through(self):
+        gateway = VxlanGateway("gw", VniMap([("192.168.0.0/16", 42)]))
+        packet = make_packet()
+        gateway.process(packet, NullInstrumentationAPI())
+        assert not packet.encaps
+        assert gateway.passed_through == 1
+
+    def test_no_dscp_marking_when_disabled(self):
+        gateway = VxlanGateway("gw", VniMap([("172.16.0.0/16", 42)]), underlay_dscp=None)
+        packet = make_packet()
+        original_dscp = packet.ip.dscp
+        gateway.process(packet, NullInstrumentationAPI())
+        assert packet.ip.dscp == original_dscp
+
+
+class TestVxlanTerminator:
+    def test_strips_vxlan(self):
+        gateway = VxlanGateway("gw", VniMap([("172.16.0.0/16", 42)]))
+        terminator = VxlanTerminator("term")
+        packet = make_packet()
+        gateway.process(packet, NullInstrumentationAPI())
+        terminator.process(packet, NullInstrumentationAPI())
+        assert not packet.encaps
+        assert terminator.decapsulated == 1
+
+    def test_plain_traffic_untouched(self):
+        terminator = VxlanTerminator("term")
+        packet = make_packet()
+        before = packet.serialize()
+        terminator.process(packet, NullInstrumentationAPI())
+        assert packet.serialize() == before
+        assert terminator.passed_through == 1
+
+
+class TestGatewayChainEquivalence:
+    def test_gateway_terminator_pair_consolidates_to_noop(self):
+        from repro.core.framework import SpeedyBox
+        from repro.traffic import FlowSpec, TrafficGenerator
+
+        def chain():
+            return [
+                VxlanGateway("gw", VniMap([("172.16.0.0/16", 9)])),
+                VxlanTerminator("term"),
+            ]
+
+        sbox = SpeedyBox(chain())
+        spec = FlowSpec.tcp("10.0.0.1", "172.16.5.9", 1000, 80, packets=4, payload=b"x")
+        reports = [sbox.process(p) for p in TrafficGenerator([spec]).packets()]
+        rule = sbox.global_mat.peek(reports[0].fid)
+        # The encap cancels against the decap; only the DSCP mark remains.
+        assert not rule.consolidated.net_encaps
+        assert not rule.consolidated.leading_decaps
+
+    def test_lockstep_equivalence(self):
+        from tests.integration.helpers import run_lockstep
+        from repro.traffic import FlowSpec, TrafficGenerator
+
+        def chain():
+            return [
+                VxlanGateway("gw", VniMap([("172.16.0.0/16", 9), ("192.0.2.0/24", 10)])),
+            ]
+
+        flows = [
+            FlowSpec.tcp("10.0.0.1", "172.16.5.9", 1000, 80, packets=5, payload=b"a"),
+            FlowSpec.tcp("10.0.0.2", "8.8.8.8", 2000, 80, packets=5, payload=b"b"),
+        ]
+        packets = TrafficGenerator(flows, interleave="round_robin").packets()
+        run_lockstep(chain, packets)

@@ -1,0 +1,116 @@
+"""Unit tests for the IPFilter firewall (repro.nf.ipfilter)."""
+
+from repro.core.local_mat import NullInstrumentationAPI
+from repro.net import FiveTuple, Packet
+from repro.nf.ipfilter import AclRule, IPFilter, Verdict
+from repro.platform.costs import CostModel, CycleMeter, Operation
+
+
+def make_packet(src="10.0.0.1", dst="10.0.0.2", sport=1000, dport=80, fid=1):
+    packet = Packet.from_five_tuple(FiveTuple.make(src, dst, sport, dport))
+    packet.metadata["fid"] = fid
+    return packet
+
+
+class TestAclRule:
+    def test_wildcard_matches_everything(self):
+        rule = AclRule.make()
+        assert rule.matches(FiveTuple.make("1.2.3.4", "5.6.7.8", 1, 2))
+
+    def test_prefix_match(self):
+        rule = AclRule.make(src="10.0.0.0/8")
+        assert rule.matches(FiveTuple.make("10.200.3.4", "5.6.7.8", 1, 2))
+        assert not rule.matches(FiveTuple.make("11.0.0.1", "5.6.7.8", 1, 2))
+
+    def test_host_match(self):
+        rule = AclRule.make(dst="5.6.7.8")
+        assert rule.matches(FiveTuple.make("1.1.1.1", "5.6.7.8", 1, 2))
+        assert not rule.matches(FiveTuple.make("1.1.1.1", "5.6.7.9", 1, 2))
+
+    def test_zero_length_prefix_matches_all(self):
+        rule = AclRule.make(src="0.0.0.0/0")
+        assert rule.matches(FiveTuple.make("255.255.255.255", "1.1.1.1", 1, 2))
+
+    def test_port_range(self):
+        rule = AclRule.make(dst_ports=(80, 443))
+        assert rule.matches(FiveTuple.make("1.1.1.1", "2.2.2.2", 5, 80))
+        assert rule.matches(FiveTuple.make("1.1.1.1", "2.2.2.2", 5, 443))
+        assert not rule.matches(FiveTuple.make("1.1.1.1", "2.2.2.2", 5, 444))
+
+    def test_protocol_match(self):
+        rule = AclRule.make(protocol=17)
+        assert not rule.matches(FiveTuple.make("1.1.1.1", "2.2.2.2", 5, 80))  # TCP
+
+
+class TestIPFilterVerdicts:
+    def test_blacklisted_flow_dropped(self):
+        fw = IPFilter("fw", rules=[AclRule.make(src="10.0.0.0/8", verdict=Verdict.DROP)])
+        packet = make_packet()
+        fw.process(packet, NullInstrumentationAPI())
+        assert packet.dropped
+        assert fw.dropped == 1
+
+    def test_unmatched_flow_forwarded(self):
+        fw = IPFilter("fw", rules=[AclRule.make(src="192.168.0.0/16", verdict=Verdict.DROP)])
+        packet = make_packet()
+        fw.process(packet, NullInstrumentationAPI())
+        assert not packet.dropped
+        assert fw.forwarded == 1
+
+    def test_first_matching_rule_wins(self):
+        fw = IPFilter(
+            "fw",
+            rules=[
+                AclRule.make(src="10.0.0.1", verdict=Verdict.FORWARD),
+                AclRule.make(src="10.0.0.0/8", verdict=Verdict.DROP),
+            ],
+        )
+        packet = make_packet()
+        fw.process(packet, NullInstrumentationAPI())
+        assert not packet.dropped
+
+    def test_default_verdict_configurable(self):
+        fw = IPFilter("fw", default_verdict=Verdict.DROP)
+        packet = make_packet()
+        fw.process(packet, NullInstrumentationAPI())
+        assert packet.dropped
+
+    def test_dscp_marking(self):
+        fw = IPFilter("fw", mark_dscp=46)
+        packet = make_packet()
+        fw.process(packet, NullInstrumentationAPI())
+        assert packet.ip.dscp == 46
+
+
+class TestIPFilterCostStructure:
+    def test_initial_packet_pays_linear_scan(self):
+        rules = [AclRule.make(src=f"192.168.{i}.0/24", verdict=Verdict.DROP) for i in range(50)]
+        fw = IPFilter("fw", rules=rules)
+        model = CostModel()
+
+        initial_meter = CycleMeter()
+        fw.meter = initial_meter
+        fw.process(make_packet(), NullInstrumentationAPI())
+
+        cached_meter = CycleMeter()
+        fw.meter = cached_meter
+        fw.process(make_packet(), NullInstrumentationAPI())
+
+        assert initial_meter.count(Operation.ACL_RULE_SCAN) == 50
+        assert cached_meter.count(Operation.ACL_RULE_SCAN) == 0
+        assert initial_meter.cycles(model) > cached_meter.cycles(model)
+
+    def test_verdict_cache_evicted_on_close(self):
+        fw = IPFilter("fw")
+        packet = make_packet()
+        fw.process(packet, NullInstrumentationAPI())
+        assert packet.five_tuple() in fw._verdict_cache
+        fw.handle_flow_close(packet)
+        assert packet.five_tuple() not in fw._verdict_cache
+
+    def test_reset_clears_state(self):
+        fw = IPFilter("fw")
+        fw.process(make_packet(), NullInstrumentationAPI())
+        fw.reset()
+        assert fw.forwarded == 0
+        assert not fw._verdict_cache

@@ -1,0 +1,126 @@
+"""Miscellaneous NF coverage: base-class contract, resets, edge paths."""
+
+import pytest
+
+from repro.core.local_mat import NullInstrumentationAPI
+from repro.net import FiveTuple, Packet
+from repro.nf.base import NetworkFunction
+from repro.platform.costs import CostModel, CycleMeter, NULL_METER, Operation
+
+
+def make_packet(fid=1):
+    packet = Packet.from_five_tuple(FiveTuple.make("10.0.0.1", "10.0.0.2", 1, 2), payload=b"m")
+    packet.metadata["fid"] = fid
+    return packet
+
+
+class TestNetworkFunctionBase:
+    def test_process_is_abstract(self):
+        nf = NetworkFunction("abstract")
+        with pytest.raises(NotImplementedError):
+            nf.process(make_packet(), NullInstrumentationAPI())
+
+    def test_default_meter_is_null(self):
+        nf = NetworkFunction("n")
+        assert nf.meter is NULL_METER
+        nf.charge(Operation.PARSE, 100)  # must be a no-op, not a crash
+
+    def test_ingress_counts_and_charges(self):
+        nf = NetworkFunction("n")
+        meter = CycleMeter()
+        nf.meter = meter
+        nf.ingress(make_packet())
+        assert nf.packets_processed == 1
+        assert meter.count(Operation.PARSE) == 1
+
+    def test_handle_flow_close_default_noop(self):
+        NetworkFunction("n").handle_flow_close(make_packet())
+
+    def test_reset_clears_packet_count(self):
+        nf = NetworkFunction("n")
+        nf.ingress(make_packet())
+        nf.reset()
+        assert nf.packets_processed == 0
+
+    def test_repr(self):
+        assert "NetworkFunction" in repr(NetworkFunction("me"))
+        assert "me" in repr(NetworkFunction("me"))
+
+
+class TestResets:
+    def test_vpn_encap_reset(self):
+        from repro.nf import VpnEncap
+
+        nf = VpnEncap("e")
+        nf.process(make_packet(), NullInstrumentationAPI())
+        assert nf.encapsulated == 1
+        nf.reset()
+        assert nf.encapsulated == 0
+        assert nf.packets_processed == 0
+
+    def test_gateway_reset(self):
+        from repro.nf import VniMap, VxlanGateway
+
+        nf = VxlanGateway("g", VniMap([("0.0.0.0/0", 1)]))
+        nf.process(make_packet(), NullInstrumentationAPI())
+        nf.reset()
+        assert nf.encapsulated == 0
+        assert nf.passed_through == 0
+
+    def test_terminator_reset(self):
+        from repro.nf import VxlanTerminator
+
+        nf = VxlanTerminator("t")
+        nf.process(make_packet(), NullInstrumentationAPI())
+        nf.reset()
+        assert nf.passed_through == 0
+
+    def test_dos_reset_via_framework_reset(self):
+        from repro.core.framework import SpeedyBox
+        from repro.nf import DosPrevention
+
+        sbox = SpeedyBox([DosPrevention("d", threshold=1, mode="packets")])
+        for __ in range(3):
+            packet = make_packet()
+            packet.metadata.pop("fid")
+            sbox.process(packet)
+        sbox.reset()
+        assert not sbox.nfs[0].counters
+        assert not sbox.nfs[0].blocked_flows
+
+
+class TestSyntheticDropAction:
+    def test_drop_action_short_circuits_sf_recording(self):
+        from repro.core.actions import Drop
+        from repro.core.framework import SpeedyBox
+        from repro.nf import SyntheticNF
+        from repro.traffic import FlowSpec, TrafficGenerator
+
+        nf = SyntheticNF("dropper", action=Drop())
+        sbox = SpeedyBox([nf])
+        packets = TrafficGenerator(
+            [FlowSpec.tcp("10.0.0.1", "10.0.0.2", 1, 2, packets=3, payload=b"x")]
+        ).packets()
+        reports = [sbox.process(p) for p in packets]
+        assert all(r.dropped for r in reports)
+        # The SF is never recorded for a flow the NF itself drops.
+        fid = reports[0].fid
+        rule = sbox.global_mat.peek(fid)
+        assert rule.consolidated.drop
+        assert rule.schedule.batch_count == 0
+        assert nf.sf_invocations == 0
+
+
+class TestMeterEdge:
+    def test_meter_fractional_charges(self):
+        meter = CycleMeter()
+        meter.charge(Operation.PAYLOAD_BYTE_SCAN, 0.5)
+        meter.charge(Operation.PAYLOAD_BYTE_SCAN, 0.5)
+        model = CostModel()
+        assert meter.cycles(model) == pytest.approx(model.payload_byte_scan)
+
+    def test_negative_direct_cycles_allowed_for_corrections(self):
+        meter = CycleMeter()
+        meter.charge_cycles(100)
+        meter.charge_cycles(-40)
+        assert meter.cycles(CostModel()) == 60

@@ -1,0 +1,151 @@
+"""Unit + equivalence tests for the token-bucket policer (repro.nf.policer)."""
+
+import pytest
+
+from repro.core.framework import ServiceChain, SpeedyBox
+from repro.core.local_mat import NullInstrumentationAPI
+from repro.net import FiveTuple, Packet
+from repro.nf.policer import TokenBucketPolicer
+from repro.traffic.generator import clone_packets
+
+
+def make_packet(timestamp_ns=0.0, sport=1000):
+    packet = Packet.from_five_tuple(
+        FiveTuple.make("10.0.0.1", "10.0.0.2", sport, 80),
+        payload=b"x",
+        timestamp_ns=timestamp_ns,
+    )
+    packet.metadata["fid"] = 1
+    return packet
+
+
+def burst(count, start_ns=0.0, gap_ns=1000.0, sport=1000):
+    return [make_packet(start_ns + i * gap_ns, sport=sport) for i in range(count)]
+
+
+class TestBucketMechanics:
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            TokenBucketPolicer(rate_pps=0)
+        with pytest.raises(ValueError):
+            TokenBucketPolicer(burst=0.5)
+
+    def test_burst_passes_then_drops(self):
+        # 3-token bucket, negligible refill at this timescale.
+        policer = TokenBucketPolicer(rate_pps=1.0, burst=3)
+        api = NullInstrumentationAPI()
+        verdicts = []
+        for packet in burst(6, gap_ns=10.0):
+            policer.process(packet, api)
+            verdicts.append(packet.dropped)
+        assert verdicts == [False, False, False, True, True, True]
+        assert policer.policed == 3
+
+    def test_bucket_refills_over_time(self):
+        # 1000 pps = one token per ms.  Verdicts use check-then-update
+        # ordering: a refill becomes visible from the *next* packet (the
+        # same one-packet lag the fast path's event pre-check has).
+        policer = TokenBucketPolicer(rate_pps=1000.0, burst=1)
+        api = NullInstrumentationAPI()
+        first = make_packet(0.0)
+        policer.process(first, api)
+        assert not first.dropped
+        # 0.1 ms later: bucket empty -> drop.
+        starved = make_packet(100_000.0)
+        policer.process(starved, api)
+        assert starved.dropped
+        # 2 ms later: the bucket HAS refilled, but the verdict still sees
+        # the pre-refill state -> this packet is the edge...
+        edge = make_packet(2_100_000.0)
+        policer.process(edge, api)
+        assert edge.dropped
+        # ...and the packet after it is forwarded.
+        fed = make_packet(2_200_000.0)
+        policer.process(fed, api)
+        assert not fed.dropped
+
+    def test_flows_have_independent_buckets(self):
+        policer = TokenBucketPolicer(rate_pps=1.0, burst=1)
+        api = NullInstrumentationAPI()
+        policer.process(make_packet(0.0, sport=1000), api)
+        policer.process(make_packet(10.0, sport=1000), api)  # dropped
+        other = make_packet(20.0, sport=2000)
+        policer.process(other, api)
+        assert not other.dropped
+
+    def test_tokens_capped_at_burst(self):
+        policer = TokenBucketPolicer(rate_pps=1e9, burst=2)
+        api = NullInstrumentationAPI()
+        policer.process(make_packet(0.0), api)
+        key = make_packet().five_tuple()
+        # Huge refill after long idle: still capped at burst.
+        policer.process(make_packet(1e12), api)
+        assert policer.buckets[key].tokens <= 2.0
+
+    def test_flow_close_clears_state(self):
+        policer = TokenBucketPolicer()
+        api = NullInstrumentationAPI()
+        packet = make_packet()
+        policer.process(packet, api)
+        policer.handle_flow_close(packet)
+        assert not policer.buckets
+        assert not policer.mode
+
+
+class TestPolicerEquivalence:
+    def run_both(self, packets, rate=1000.0, bucket=3):
+        baseline = ServiceChain([TokenBucketPolicer("p", rate_pps=rate, burst=bucket)])
+        speedybox = SpeedyBox([TokenBucketPolicer("p", rate_pps=rate, burst=bucket)])
+        base_stream = clone_packets(packets)
+        sbox_stream = clone_packets(packets)
+        for packet in base_stream:
+            packet.metadata.pop("fid", None)
+            baseline.process(packet)
+        for packet in sbox_stream:
+            packet.metadata.pop("fid", None)
+            speedybox.process(packet)
+        return baseline, speedybox, base_stream, sbox_stream
+
+    def test_drop_pattern_identical_through_oscillation(self):
+        # Burst, starve, recover, burst again: the verdict pattern must be
+        # packet-exact even as events flip the rule back and forth.
+        packets = (
+            burst(5, start_ns=0.0, gap_ns=1000.0)
+            + burst(3, start_ns=5_000_000.0, gap_ns=1000.0)
+            + burst(5, start_ns=20_000_000.0, gap_ns=1000.0)
+        )
+        baseline, speedybox, base_stream, sbox_stream = self.run_both(packets)
+        base_pattern = [p.dropped for p in base_stream]
+        sbox_pattern = [p.dropped for p in sbox_stream]
+        assert base_pattern == sbox_pattern
+        assert True in base_pattern and False in base_pattern  # both regimes hit
+
+    def test_bucket_state_identical(self):
+        packets = burst(8, gap_ns=500_000.0)
+        baseline, speedybox, *_ = self.run_both(packets, rate=2000.0, bucket=2)
+        base_policer = baseline.nfs[0]
+        sbox_policer = speedybox.nfs[0]
+        assert base_policer.forwarded == sbox_policer.forwarded
+        assert base_policer.policed == sbox_policer.policed
+        key = packets[0].five_tuple()
+        assert base_policer.buckets[key].tokens == pytest.approx(
+            sbox_policer.buckets[key].tokens
+        )
+
+    def test_events_fire_on_both_edges(self):
+        packets = (
+            burst(5, start_ns=0.0, gap_ns=1000.0)          # drains the bucket
+            + burst(2, start_ns=30_000_000.0, gap_ns=1000.0)  # refilled
+        )
+        __, speedybox, *_ = self.run_both(packets)
+        # At least one flip to drop and one back to forward.
+        assert speedybox.event_table.total_triggered >= 2
+
+    def test_healthy_flow_does_not_reconsolidate_every_packet(self):
+        # Edge-triggering: a flow comfortably under its rate must keep
+        # one rule version.
+        packets = burst(10, gap_ns=10_000_000.0)  # 100 pps against 1000 pps
+        __, speedybox, *_ = self.run_both(packets)
+        fid_list = speedybox.global_mat.flows()
+        assert len(fid_list) == 1
+        assert speedybox.global_mat.peek(fid_list[0]).version == 1

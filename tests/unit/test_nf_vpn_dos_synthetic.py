@@ -1,0 +1,172 @@
+"""Unit tests for the VPN, DoS-prevention and synthetic NFs."""
+
+import pytest
+
+from repro.core.actions import Modify
+from repro.core.local_mat import NullInstrumentationAPI
+from repro.core.state_function import PayloadClass
+from repro.net import AuthenticationHeader, FiveTuple, Packet
+from repro.net.headers import TCP_ACK, TCP_SYN
+from repro.nf.dos import DosPrevention
+from repro.nf.synthetic import SyntheticNF
+from repro.nf.vpn import VpnDecap, VpnEncap, keyed_digest
+
+
+def make_packet(payload=b"secret", flags=TCP_ACK, fid=1, sport=1000):
+    packet = Packet.from_five_tuple(
+        FiveTuple.make("10.0.0.1", "10.0.0.2", sport, 80), payload=payload, tcp_flags=flags
+    )
+    packet.metadata["fid"] = fid
+    return packet
+
+
+class TestVpn:
+    def test_encap_pushes_ah(self):
+        encap = VpnEncap("enc", spi=0xABC)
+        packet = make_packet()
+        encap.process(packet, NullInstrumentationAPI())
+        assert len(packet.encaps) == 1
+        assert packet.encaps[0].spi == 0xABC
+        assert encap.encapsulated == 1
+
+    def test_encap_authenticates_payload(self):
+        encap = VpnEncap("enc", key=0x1234)
+        packet = make_packet(payload=b"hello")
+        encap.process(packet, NullInstrumentationAPI())
+        assert packet.encaps[0].icv == keyed_digest(0x1234, b"hello")
+
+    def test_decap_strips_ah(self):
+        encap = VpnEncap("enc", key=7)
+        decap = VpnDecap("dec", key=7)
+        packet = make_packet()
+        encap.process(packet, NullInstrumentationAPI())
+        decap.process(packet, NullInstrumentationAPI())
+        assert not packet.encaps
+        assert decap.decapsulated == 1
+        assert decap.verification_failures == 0
+
+    def test_decap_detects_wrong_key(self):
+        encap = VpnEncap("enc", key=7)
+        decap = VpnDecap("dec", key=8)
+        packet = make_packet()
+        encap.process(packet, NullInstrumentationAPI())
+        decap.process(packet, NullInstrumentationAPI())
+        assert decap.verification_failures == 1
+
+    def test_decap_without_ah_forwards(self):
+        decap = VpnDecap("dec")
+        packet = make_packet()
+        decap.process(packet, NullInstrumentationAPI())
+        assert decap.decapsulated == 0
+        assert not packet.dropped
+
+    def test_digest_deterministic_and_keyed(self):
+        assert keyed_digest(1, b"x") == keyed_digest(1, b"x")
+        assert keyed_digest(1, b"x") != keyed_digest(2, b"x")
+        assert keyed_digest(1, b"x") != keyed_digest(1, b"y")
+
+
+class TestDosPrevention:
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            DosPrevention(threshold=0)
+        with pytest.raises(ValueError):
+            DosPrevention(mode="bananas")
+
+    def test_syn_mode_counts_only_syns(self):
+        dos = DosPrevention("dos", threshold=100, mode="syn")
+        key = make_packet().five_tuple()
+        dos.process(make_packet(flags=TCP_SYN), NullInstrumentationAPI())
+        dos.process(make_packet(flags=TCP_ACK), NullInstrumentationAPI())
+        assert dos.counters[key] == 1
+
+    def test_packet_mode_counts_everything(self):
+        dos = DosPrevention("dos", threshold=100, mode="packets")
+        key = make_packet().five_tuple()
+        for __ in range(3):
+            dos.process(make_packet(), NullInstrumentationAPI())
+        assert dos.counters[key] == 3
+
+    def test_drops_over_threshold(self):
+        # Check-then-count: packets 1..threshold+1 pass (the counter must
+        # *exceed* the threshold before the pre-check drops), then drop.
+        dos = DosPrevention("dos", threshold=2, mode="packets")
+        results = []
+        for __ in range(6):
+            packet = make_packet()
+            dos.process(packet, NullInstrumentationAPI())
+            results.append(packet.dropped)
+        assert results == [False, False, False, True, True, True]
+        assert dos.blocked_flows[make_packet().five_tuple()] == 3
+
+    def test_flows_counted_independently(self):
+        dos = DosPrevention("dos", threshold=2, mode="packets")
+        for sport in (1000, 2000):
+            for __ in range(2):
+                dos.process(make_packet(sport=sport), NullInstrumentationAPI())
+        assert not dos.blocked_flows
+
+    def test_exceeded_condition(self):
+        dos = DosPrevention("dos", threshold=2, mode="packets")
+        key = make_packet().five_tuple()
+        assert not dos.exceeded(key)
+        dos.counters[key] = 3
+        assert dos.exceeded(key)
+
+    def test_reset(self):
+        dos = DosPrevention("dos", threshold=1, mode="packets")
+        for __ in range(3):
+            dos.process(make_packet(), NullInstrumentationAPI())
+        dos.reset()
+        assert not dos.counters
+        assert not dos.blocked_flows
+
+
+class TestSyntheticNF:
+    def test_default_records_read_sf(self):
+        nf = SyntheticNF("s")
+        packet = make_packet()
+        nf.process(packet, NullInstrumentationAPI())
+        assert nf.sf_invocations == 1
+
+    def test_no_sf_mode(self):
+        nf = SyntheticNF("s", sf_payload_class=None)
+        nf.process(make_packet(), NullInstrumentationAPI())
+        assert nf.sf_invocations == 0
+
+    def test_modify_action_applied(self):
+        nf = SyntheticNF("s", action=Modify.set(dst_port=4444), sf_payload_class=None)
+        packet = make_packet()
+        nf.process(packet, NullInstrumentationAPI())
+        assert packet.l4.dst_port == 4444
+
+    def test_write_class_transforms_payload(self):
+        nf = SyntheticNF("s", sf_payload_class=PayloadClass.WRITE)
+        packet = make_packet(payload=b"\x00\x01")
+        nf.process(packet, NullInstrumentationAPI())
+        assert packet.payload == b"\x01\x02"
+        assert nf.payload_writes == 1
+
+    def test_write_wraps_at_255(self):
+        nf = SyntheticNF("s", sf_payload_class=PayloadClass.WRITE)
+        packet = make_packet(payload=b"\xff")
+        nf.process(packet, NullInstrumentationAPI())
+        assert packet.payload == b"\x00"
+
+    def test_work_cycles_charged(self):
+        from repro.platform.costs import CostModel, CycleMeter
+
+        nf = SyntheticNF("s", sf_work_cycles=555.0)
+        meter = CycleMeter()
+        nf.meter = meter
+        nf.process(make_packet(), NullInstrumentationAPI())
+        assert meter.direct_cycles == 555.0
+
+    def test_payload_scan_mode(self):
+        from repro.platform.costs import CycleMeter, Operation
+
+        nf = SyntheticNF("s", sf_scans_payload=True)
+        meter = CycleMeter()
+        nf.meter = meter
+        nf.process(make_packet(payload=b"x" * 32), NullInstrumentationAPI())
+        assert meter.count(Operation.PAYLOAD_BYTE_SCAN) == 32

@@ -1,0 +1,345 @@
+"""Unit tests for the discrete-event engine (repro.sim.engine)."""
+
+import pytest
+
+from repro.sim import Engine, Get, Put, Request, SimulationError, Store, Resource, Timeout
+
+
+def test_clock_starts_at_zero():
+    engine = Engine()
+    assert engine.now == 0.0
+
+
+def test_timeout_advances_clock():
+    engine = Engine()
+    times = []
+
+    def proc():
+        yield Timeout(5.0)
+        times.append(engine.now)
+        yield Timeout(2.5)
+        times.append(engine.now)
+
+    engine.add_process(proc())
+    engine.run()
+    assert times == [5.0, 7.5]
+
+
+def test_negative_timeout_rejected():
+    with pytest.raises(SimulationError):
+        Timeout(-1.0)
+
+
+def test_zero_timeout_allowed():
+    engine = Engine()
+    seen = []
+
+    def proc():
+        yield Timeout(0.0)
+        seen.append(engine.now)
+
+    engine.add_process(proc())
+    engine.run()
+    assert seen == [0.0]
+
+
+def test_run_until_stops_early():
+    engine = Engine()
+    seen = []
+
+    def proc():
+        for __ in range(10):
+            yield Timeout(1.0)
+            seen.append(engine.now)
+
+    engine.add_process(proc())
+    final = engine.run(until=3.5)
+    assert final == 3.5
+    assert seen == [1.0, 2.0, 3.0]
+
+
+def test_ties_broken_by_insertion_order():
+    engine = Engine()
+    order = []
+
+    def proc(tag):
+        yield Timeout(1.0)
+        order.append(tag)
+
+    engine.add_process(proc("a"))
+    engine.add_process(proc("b"))
+    engine.add_process(proc("c"))
+    engine.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_process_result_and_join():
+    engine = Engine()
+    results = []
+
+    def worker():
+        yield Timeout(3.0)
+        return 42
+
+    def waiter(process):
+        value = yield process
+        results.append((engine.now, value))
+
+    process = engine.add_process(worker())
+    engine.add_process(waiter(process))
+    engine.run()
+    assert results == [(3.0, 42)]
+    assert process.finished
+    assert process.result == 42
+
+
+def test_join_on_finished_process_returns_immediately():
+    engine = Engine()
+    results = []
+
+    def worker():
+        yield Timeout(1.0)
+        return "done"
+
+    process = engine.add_process(worker())
+    engine.run()
+
+    def late_waiter():
+        value = yield process
+        results.append(value)
+
+    engine.add_process(late_waiter())
+    engine.run()
+    assert results == ["done"]
+
+
+def test_event_wakes_all_waiters():
+    engine = Engine()
+    event = engine.event()
+    woken = []
+
+    def waiter(tag):
+        value = yield event
+        woken.append((tag, value, engine.now))
+
+    def trigger():
+        yield Timeout(4.0)
+        event.trigger("fired")
+
+    engine.add_process(waiter("x"))
+    engine.add_process(waiter("y"))
+    engine.add_process(trigger())
+    engine.run()
+    assert woken == [("x", "fired", 4.0), ("y", "fired", 4.0)]
+
+
+def test_event_double_trigger_rejected():
+    engine = Engine()
+    event = engine.event()
+    event.trigger()
+    with pytest.raises(SimulationError):
+        event.trigger()
+
+
+def test_interrupt_raises_in_process():
+    engine = Engine()
+    from repro.sim import Interrupt
+
+    caught = []
+
+    def sleeper():
+        try:
+            yield Timeout(100.0)
+        except Interrupt as interrupt:
+            caught.append((engine.now, interrupt.cause))
+
+    def interrupter(target):
+        yield Timeout(2.0)
+        target.interrupt("wake up")
+
+    target = engine.add_process(sleeper())
+    engine.add_process(interrupter(target))
+    engine.run()
+    assert caught == [(2.0, "wake up")]
+
+
+def test_unsupported_yield_raises():
+    engine = Engine()
+
+    def bad():
+        yield "not a command"
+
+    engine.add_process(bad())
+    with pytest.raises(SimulationError):
+        engine.run()
+
+
+def test_store_put_get_fifo():
+    engine = Engine()
+    store = Store(engine)
+    got = []
+
+    def producer():
+        for i in range(3):
+            yield Put(store, i)
+            yield Timeout(1.0)
+
+    def consumer():
+        for __ in range(3):
+            item = yield Get(store)
+            got.append(item)
+
+    engine.add_process(producer())
+    engine.add_process(consumer())
+    engine.run()
+    assert got == [0, 1, 2]
+
+
+def test_store_get_blocks_until_put():
+    engine = Engine()
+    store = Store(engine)
+    got = []
+
+    def consumer():
+        item = yield Get(store)
+        got.append((engine.now, item))
+
+    def producer():
+        yield Timeout(7.0)
+        yield Put(store, "pkt")
+
+    engine.add_process(consumer())
+    engine.add_process(producer())
+    engine.run()
+    assert got == [(7.0, "pkt")]
+
+
+def test_store_capacity_blocks_producer():
+    engine = Engine()
+    store = Store(engine, capacity=1)
+    timeline = []
+
+    def producer():
+        yield Put(store, "a")
+        timeline.append(("put-a", engine.now))
+        yield Put(store, "b")
+        timeline.append(("put-b", engine.now))
+
+    def consumer():
+        yield Timeout(10.0)
+        item = yield Get(store)
+        timeline.append(("got-" + item, engine.now))
+
+    engine.add_process(producer())
+    engine.add_process(consumer())
+    engine.run()
+    # The second put can only complete once the consumer drains one slot.
+    assert ("put-a", 0.0) in timeline
+    assert ("put-b", 10.0) in timeline
+
+
+def test_store_invalid_capacity():
+    engine = Engine()
+    with pytest.raises(SimulationError):
+        Store(engine, capacity=0)
+
+
+def test_store_watermark_and_counters():
+    engine = Engine()
+    store = Store(engine)
+
+    def producer():
+        for i in range(5):
+            yield Put(store, i)
+
+    def consumer():
+        yield Timeout(1.0)
+        for __ in range(5):
+            yield Get(store)
+
+    engine.add_process(producer())
+    engine.add_process(consumer())
+    engine.run()
+    assert store.total_put == 5
+    assert store.total_got == 5
+    assert store.high_watermark == 5
+    assert len(store) == 0
+
+
+def test_resource_serialises_access():
+    engine = Engine()
+    core = Resource(engine, capacity=1)
+    spans = []
+
+    def worker(tag, hold):
+        yield Request(core)
+        start = engine.now
+        yield Timeout(hold)
+        spans.append((tag, start, engine.now))
+        yield core.release()
+
+    engine.add_process(worker("a", 5.0))
+    engine.add_process(worker("b", 3.0))
+    engine.run()
+    assert spans == [("a", 0.0, 5.0), ("b", 5.0, 8.0)]
+
+
+def test_resource_parallel_capacity():
+    engine = Engine()
+    pool = Resource(engine, capacity=2)
+    done = []
+
+    def worker(tag):
+        yield Request(pool)
+        yield Timeout(4.0)
+        done.append((tag, engine.now))
+        yield pool.release()
+
+    for tag in ("a", "b", "c"):
+        engine.add_process(worker(tag))
+    engine.run()
+    # Two run together, the third waits for a slot.
+    assert done == [("a", 4.0), ("b", 4.0), ("c", 8.0)]
+
+
+def test_resource_release_when_idle_raises():
+    engine = Engine()
+    pool = Resource(engine, capacity=1)
+
+    def bad():
+        yield pool.release()
+
+    engine.add_process(bad())
+    with pytest.raises(SimulationError):
+        engine.run()
+
+
+def test_resource_invalid_capacity():
+    engine = Engine()
+    with pytest.raises(SimulationError):
+        Resource(engine, capacity=0)
+
+
+def test_determinism_two_runs_identical():
+    def build_and_run():
+        engine = Engine()
+        store = Store(engine, capacity=4)
+        trace = []
+
+        def producer():
+            for i in range(20):
+                yield Put(store, i)
+                yield Timeout(1.5)
+
+        def consumer():
+            for __ in range(20):
+                item = yield Get(store)
+                trace.append((engine.now, item))
+                yield Timeout(2.0)
+
+        engine.add_process(producer())
+        engine.add_process(consumer())
+        engine.run()
+        return trace
+
+    assert build_and_run() == build_and_run()

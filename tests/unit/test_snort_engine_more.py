@@ -1,0 +1,98 @@
+"""Deeper detection-engine coverage: prescan/verification interplay."""
+
+from repro.net.flow import FiveTuple, PROTO_UDP
+from repro.nf.snort import DetectionEngine, parse_rules
+
+
+def flow(dport=80, proto=6):
+    if proto == PROTO_UDP:
+        return FiveTuple.make("10.0.0.1", "20.0.0.1", 1000, dport, protocol=PROTO_UDP)
+    return FiveTuple.make("10.0.0.1", "20.0.0.1", 1000, dport)
+
+
+class TestPrescanVerificationInterplay:
+    def test_header_only_rule_matches_everything_on_flow(self):
+        engine = DetectionEngine(parse_rules("alert tcp any any -> any 80 (msg:\"any\"; sid:1;)"))
+        matcher = engine.assign_flow_matcher(flow())
+        assert matcher.inspect(b"").verdict == "alert"
+        assert matcher.inspect(b"whatever").verdict == "alert"
+
+    def test_empty_payload_never_matches_content_rules(self):
+        engine = DetectionEngine(parse_rules('alert tcp any any -> any any (content:"x"; sid:1;)'))
+        matcher = engine.assign_flow_matcher(flow())
+        assert matcher.inspect(b"").verdict == "clean"
+
+    def test_pcre_only_rule(self):
+        engine = DetectionEngine(
+            parse_rules(r'alert tcp any any -> any any (pcre:"/a{3}b/"; sid:9;)')
+        )
+        matcher = engine.assign_flow_matcher(flow())
+        assert matcher.inspect(b"xxaaab").verdict == "alert"
+        assert matcher.inspect(b"aab").verdict == "clean"
+
+    def test_content_plus_pcre_both_required(self):
+        engine = DetectionEngine(
+            parse_rules(r'alert tcp any any -> any any (content:"cmd="; pcre:"/cmd=\d+/"; sid:2;)')
+        )
+        matcher = engine.assign_flow_matcher(flow())
+        assert matcher.inspect(b"cmd=42").verdict == "alert"
+        assert matcher.inspect(b"cmd=abc").verdict == "clean"  # content hits, pcre misses
+
+    def test_shared_pattern_between_rules(self):
+        rules = parse_rules(
+            """
+            alert tcp any any -> any 80 (content:"token"; sid:1;)
+            log tcp any any -> any 443 (content:"token"; sid:2;)
+            """
+        )
+        engine = DetectionEngine(rules)
+        port80 = engine.assign_flow_matcher(flow(80))
+        port443 = engine.assign_flow_matcher(flow(443))
+        assert port80.inspect(b"token").verdict == "alert"
+        assert port443.inspect(b"token").verdict == "log"
+
+    def test_matcher_for_unmatched_flow_is_empty(self):
+        engine = DetectionEngine(parse_rules('alert udp any any -> any 53 (content:"q"; sid:1;)'))
+        matcher = engine.assign_flow_matcher(flow(80))  # tcp flow
+        assert len(matcher) == 0
+        assert matcher.inspect(b"q").verdict == "clean"
+
+    def test_udp_rule_matches_udp_flow(self):
+        engine = DetectionEngine(parse_rules('alert udp any any -> any 53 (content:"q"; sid:1;)'))
+        matcher = engine.assign_flow_matcher(flow(53, proto=PROTO_UDP))
+        assert matcher.inspect(b"a q here").verdict == "alert"
+
+    def test_bidirectional_rule_builds_one_matcher_per_direction(self):
+        engine = DetectionEngine(
+            parse_rules('alert tcp 10.0.0.1 any <> 20.0.0.1 80 (content:"z"; sid:1;)')
+        )
+        forward = engine.assign_flow_matcher(flow())
+        backward = engine.assign_flow_matcher(flow().reversed())
+        assert len(forward) == 1
+        assert len(backward) == 1
+
+    def test_duplicate_patterns_across_rules_fire_independently(self):
+        rules = parse_rules(
+            """
+            alert tcp any any -> any any (content:"dup"; sid:1;)
+            alert tcp any any -> any any (content:"dup"; content:"extra"; sid:2;)
+            """
+        )
+        engine = DetectionEngine(rules)
+        matcher = engine.assign_flow_matcher(flow())
+        only_dup = matcher.inspect(b"dup only")
+        assert [rule.sid for rule in only_dup.alerts] == [1]
+        both = matcher.inspect(b"dup plus extra")
+        assert {rule.sid for rule in both.alerts} == {1, 2}
+
+    def test_pass_with_content_scopes_suppression_per_packet(self):
+        rules = parse_rules(
+            """
+            pass tcp any any -> any any (content:"trusted-token"; sid:1;)
+            alert tcp any any -> any any (content:"evil"; sid:2;)
+            """
+        )
+        engine = DetectionEngine(rules)
+        matcher = engine.assign_flow_matcher(flow())
+        assert matcher.inspect(b"evil with trusted-token").verdict == "pass"
+        assert matcher.inspect(b"plain evil").verdict == "alert"

@@ -1,0 +1,131 @@
+"""Unit tests for the Snort detection engine and NF (repro.nf.snort)."""
+
+from repro.core.local_mat import NullInstrumentationAPI
+from repro.net import FiveTuple, Packet
+from repro.nf.snort import DetectionEngine, SnortIDS, parse_rules
+
+RULES = """
+alert tcp any any -> any 80 (msg:"evil payload"; content:"evil"; sid:100;)
+alert tcp any any -> any 80 (msg:"shell"; content:"/bin/sh"; sid:101;)
+log tcp any any -> any 80 (msg:"curl agent"; content:"curl/"; nocase; sid:200;)
+pass tcp 10.0.0.5 any -> any 80 (msg:"trusted host"; sid:300;)
+alert udp any any -> any 53 (msg:"dns tunnel"; content:"tunnel"; sid:400;)
+"""
+
+
+def make_packet(src="10.0.0.1", dport=80, payload=b"", sport=1000, fid=1):
+    proto_port = dport
+    packet = Packet.from_five_tuple(
+        FiveTuple.make(src, "20.0.0.1", sport, proto_port), payload=payload
+    )
+    packet.metadata["fid"] = fid
+    return packet
+
+
+class TestDetectionEngine:
+    def setup_method(self):
+        self.engine = DetectionEngine(parse_rules(RULES))
+
+    def test_flow_matcher_filters_by_header(self):
+        web_flow = FiveTuple.make("10.0.0.1", "20.0.0.1", 1000, 80)
+        matcher = self.engine.assign_flow_matcher(web_flow)
+        sids = {rule.sid for rule in matcher.candidates}
+        assert sids == {100, 101, 200}  # dns rule and pass rule excluded
+
+    def test_pass_rule_header_scoped(self):
+        trusted_flow = FiveTuple.make("10.0.0.5", "20.0.0.1", 1000, 80)
+        matcher = self.engine.assign_flow_matcher(trusted_flow)
+        assert 300 in {rule.sid for rule in matcher.candidates}
+
+    def test_inspect_alert(self):
+        matcher = self.engine.assign_flow_matcher(FiveTuple.make("10.0.0.1", "20.0.0.1", 1, 80))
+        result = matcher.inspect(b"an evil thing")
+        assert result.verdict == "alert"
+        assert [rule.sid for rule in result.alerts] == [100]
+
+    def test_inspect_log(self):
+        matcher = self.engine.assign_flow_matcher(FiveTuple.make("10.0.0.1", "20.0.0.1", 1, 80))
+        result = matcher.inspect(b"User-Agent: CURL/7.1")
+        assert result.verdict == "log"
+
+    def test_inspect_clean(self):
+        matcher = self.engine.assign_flow_matcher(FiveTuple.make("10.0.0.1", "20.0.0.1", 1, 80))
+        assert matcher.inspect(b"nothing to see").verdict == "clean"
+
+    def test_pass_suppresses_alert(self):
+        matcher = self.engine.assign_flow_matcher(FiveTuple.make("10.0.0.5", "20.0.0.1", 1, 80))
+        result = matcher.inspect(b"truly evil")
+        assert result.passed
+        assert result.verdict == "pass"
+        assert not result.alerts
+
+    def test_multiple_rules_can_fire(self):
+        matcher = self.engine.assign_flow_matcher(FiveTuple.make("10.0.0.1", "20.0.0.1", 1, 80))
+        result = matcher.inspect(b"evil /bin/sh combo")
+        assert {rule.sid for rule in result.alerts} == {100, 101}
+
+
+class TestSnortIDS:
+    def test_accepts_rule_text(self):
+        snort = SnortIDS("snort", RULES)
+        assert len(snort.rules) == 5
+
+    def test_alert_recorded(self):
+        snort = SnortIDS("snort", RULES)
+        snort.process(make_packet(payload=b"pure evil"), NullInstrumentationAPI())
+        assert len(snort.alerts) == 1
+        assert snort.alerts[0].sid == 100
+        assert snort.alerts[0].action == "alert"
+
+    def test_log_recorded(self):
+        snort = SnortIDS("snort", RULES)
+        snort.process(make_packet(payload=b"curl/8.0"), NullInstrumentationAPI())
+        assert len(snort.logs) == 1
+        assert not snort.alerts
+
+    def test_pass_counted(self):
+        snort = SnortIDS("snort", RULES)
+        snort.process(make_packet(src="10.0.0.5", payload=b"evil"), NullInstrumentationAPI())
+        assert snort.passed_packets == 1
+        assert not snort.alerts
+
+    def test_never_modifies_packet(self):
+        snort = SnortIDS("snort", RULES)
+        packet = make_packet(payload=b"evil")
+        before = packet.serialize()
+        snort.process(packet, NullInstrumentationAPI())
+        assert packet.serialize() == before
+        assert not packet.dropped
+
+    def test_flow_matcher_reused_across_packets(self):
+        snort = SnortIDS("snort", RULES)
+        snort.process(make_packet(payload=b"a"), NullInstrumentationAPI())
+        matcher_before = snort.flow_matchers[make_packet().five_tuple()]
+        snort.process(make_packet(payload=b"b"), NullInstrumentationAPI())
+        assert snort.flow_matchers[make_packet().five_tuple()] is matcher_before
+
+    def test_alert_per_matching_packet(self):
+        snort = SnortIDS("snort", RULES)
+        for __ in range(3):
+            snort.process(make_packet(payload=b"evil"), NullInstrumentationAPI())
+        assert len(snort.alerts) == 3
+
+    def test_flow_close_evicts_matcher(self):
+        snort = SnortIDS("snort", RULES)
+        packet = make_packet()
+        snort.process(packet, NullInstrumentationAPI())
+        snort.handle_flow_close(packet)
+        assert packet.five_tuple() not in snort.flow_matchers
+
+    def test_reset(self):
+        snort = SnortIDS("snort", RULES)
+        snort.process(make_packet(payload=b"evil"), NullInstrumentationAPI())
+        snort.reset()
+        assert not snort.alerts
+        assert not snort.flow_matchers
+        assert snort.inspected_packets == 0
+
+    def test_empty_rule_set(self):
+        snort = SnortIDS("snort")
+        snort.process(make_packet(payload=b"anything"), NullInstrumentationAPI())
+        assert not snort.alerts

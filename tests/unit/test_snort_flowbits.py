@@ -1,0 +1,130 @@
+"""Unit + integration tests for Snort flowbits (cross-packet state)."""
+
+import pytest
+
+from repro.core.local_mat import NullInstrumentationAPI
+from repro.net import FiveTuple, Packet
+from repro.nf.snort import DetectionEngine, SnortIDS, parse_rules
+from repro.nf.snort.rules import FlowbitOp, RuleParseError, parse_rule
+
+TWO_STAGE_RULES = """
+alert tcp any any -> any 21 (msg:"login seen"; content:"USER root"; flowbits:set,logged_in; flowbits:noalert; sid:1;)
+alert tcp any any -> any 21 (msg:"root deletes"; content:"DELE"; flowbits:isset,logged_in; sid:2;)
+alert tcp any any -> any 21 (msg:"anon delete"; content:"DELE"; flowbits:isnotset,logged_in; sid:3;)
+"""
+
+
+def flow():
+    return FiveTuple.make("10.0.0.1", "20.0.0.1", 5000, 21)
+
+
+class TestFlowbitParsing:
+    def test_set_and_isset(self):
+        rule = parse_rule('alert tcp any any -> any any (flowbits:set,seen; sid:1;)')
+        assert rule.flowbits == [FlowbitOp("set", "seen")]
+
+    def test_noalert(self):
+        rule = parse_rule('alert tcp any any -> any any (flowbits:noalert; sid:1;)')
+        assert rule.suppresses_output
+
+    def test_unknown_verb_rejected(self):
+        with pytest.raises(RuleParseError):
+            parse_rule('alert tcp any any -> any any (flowbits:frobnicate,x; sid:1;)')
+
+    def test_missing_name_rejected(self):
+        with pytest.raises(RuleParseError):
+            parse_rule('alert tcp any any -> any any (flowbits:set; sid:1;)')
+
+
+class TestFlowbitSemantics:
+    def test_two_stage_detection(self):
+        engine = DetectionEngine(parse_rules(TWO_STAGE_RULES))
+        matcher = engine.assign_flow_matcher(flow())
+
+        # Before login: a DELE triggers the anonymous-delete rule.
+        first = matcher.inspect(b"DELE file.txt")
+        assert [rule.sid for rule in first.alerts] == [3]
+
+        # The login packet sets the bit silently (noalert).
+        login = matcher.inspect(b"USER root\r\n")
+        assert login.alerts == []
+        assert "logged_in" in matcher.flowbits
+
+        # After login: the same payload now triggers the root-delete rule.
+        second = matcher.inspect(b"DELE file.txt")
+        assert [rule.sid for rule in second.alerts] == [2]
+
+    def test_bits_are_per_flow(self):
+        engine = DetectionEngine(parse_rules(TWO_STAGE_RULES))
+        matcher_a = engine.assign_flow_matcher(flow())
+        matcher_b = engine.assign_flow_matcher(
+            FiveTuple.make("10.0.0.2", "20.0.0.1", 5001, 21)
+        )
+        matcher_a.inspect(b"USER root")
+        assert "logged_in" in matcher_a.flowbits
+        assert "logged_in" not in matcher_b.flowbits
+
+    def test_unset_clears_bit(self):
+        rules = parse_rules(
+            """
+            alert tcp any any -> any any (content:"on"; flowbits:set,armed; flowbits:noalert; sid:1;)
+            alert tcp any any -> any any (content:"off"; flowbits:unset,armed; flowbits:noalert; sid:2;)
+            alert tcp any any -> any any (content:"fire"; flowbits:isset,armed; sid:3;)
+            """
+        )
+        engine = DetectionEngine(rules)
+        matcher = engine.assign_flow_matcher(flow())
+        matcher.inspect(b"on")
+        matcher.inspect(b"off")
+        assert matcher.inspect(b"fire").alerts == []
+
+    def test_same_packet_sees_bits_set_earlier_in_rule_order(self):
+        rules = parse_rules(
+            """
+            alert tcp any any -> any any (content:"x"; flowbits:set,hot; flowbits:noalert; sid:1;)
+            alert tcp any any -> any any (content:"x"; flowbits:isset,hot; sid:2;)
+            """
+        )
+        engine = DetectionEngine(rules)
+        matcher = engine.assign_flow_matcher(flow())
+        result = matcher.inspect(b"x")
+        assert [rule.sid for rule in result.alerts] == [2]
+
+
+class TestFlowbitsThroughSpeedyBox:
+    def test_fast_path_carries_flowbit_state(self):
+        """The §VII-C oracle on a stateful matcher: the fast path's
+        recorded state function shares the matcher (and its bits), so
+        two-stage detection works identically with and without SpeedyBox."""
+        from repro.core.framework import ServiceChain, SpeedyBox
+        from repro.traffic import FlowSpec, TrafficGenerator
+        from repro.traffic.generator import clone_packets
+
+        payloads = [b"DELE a", b"USER root", b"DELE b", b"DELE c"]
+        spec = FlowSpec.tcp(
+            "10.0.0.1", "20.0.0.1", 5000, 21,
+            packets=len(payloads), payload=lambda i: payloads[i],
+        )
+        packets = TrafficGenerator([spec]).packets()
+
+        baseline = ServiceChain([SnortIDS("snort", TWO_STAGE_RULES)])
+        speedybox = SpeedyBox([SnortIDS("snort", TWO_STAGE_RULES)])
+        for packet in clone_packets(packets):
+            baseline.process(packet)
+        for packet in clone_packets(packets):
+            speedybox.process(packet)
+
+        base_alerts = [(r.sid, r.action) for r in baseline.nfs[0].alerts]
+        sbox_alerts = [(r.sid, r.action) for r in speedybox.nfs[0].alerts]
+        assert base_alerts == sbox_alerts
+        # The detection sequence itself: anon-delete, then two root-deletes.
+        assert [sid for sid, __ in sbox_alerts] == [3, 2, 2]
+
+    def test_matcher_state_evicted_on_flow_close(self):
+        snort = SnortIDS("snort", TWO_STAGE_RULES)
+        packet = Packet.from_five_tuple(flow(), payload=b"USER root")
+        packet.metadata["fid"] = 1
+        snort.process(packet, NullInstrumentationAPI())
+        assert snort.flow_matchers[flow()].flowbits == {"logged_in"}
+        snort.handle_flow_close(packet)
+        assert flow() not in snort.flow_matchers

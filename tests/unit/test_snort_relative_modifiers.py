@@ -1,0 +1,94 @@
+"""Unit tests for Snort relative content modifiers (distance/within)."""
+
+import pytest
+
+from repro.net.flow import FiveTuple
+from repro.nf.snort import DetectionEngine
+from repro.nf.snort.rules import RuleParseError, parse_rule
+
+
+class TestDistance:
+    def test_distance_requires_gap(self):
+        rule = parse_rule(
+            'alert tcp any any -> any any (content:"ab"; content:"cd"; distance:3; sid:1;)'
+        )
+        # "ab" ends at 2; "cd" must start at >= 5.
+        assert rule.payload_matches(b"abxxxcd")
+        assert not rule.payload_matches(b"abxcd")
+
+    def test_distance_zero_means_after(self):
+        rule = parse_rule(
+            'alert tcp any any -> any any (content:"ab"; content:"cd"; distance:0; sid:1;)'
+        )
+        assert rule.payload_matches(b"abcd")
+        assert not rule.payload_matches(b"cdab")  # cd before ab
+
+    def test_ordering_enforced_by_relativity(self):
+        rule = parse_rule(
+            'alert tcp any any -> any any (content:"one"; content:"two"; distance:0; sid:1;)'
+        )
+        assert rule.payload_matches(b"one then two")
+        assert not rule.payload_matches(b"two then one")
+
+
+class TestWithin:
+    def test_within_bounds_the_gap(self):
+        rule = parse_rule(
+            'alert tcp any any -> any any (content:"ab"; content:"cd"; distance:0; within:3; sid:1;)'
+        )
+        assert rule.payload_matches(b"abxcd")     # cd starts 1 after
+        assert rule.payload_matches(b"abxxxcd")   # cd starts 3 after (== within)
+        assert not rule.payload_matches(b"abxxxxcd")  # 4 after, too far
+
+    def test_within_without_distance(self):
+        rule = parse_rule(
+            'alert tcp any any -> any any (content:"GET"; content:"HTTP"; within:10; sid:1;)'
+        )
+        assert rule.payload_matches(b"GET /idx HTTP/1.1")
+        assert not rule.payload_matches(b"GET /a/very/long/path/here HTTP/1.1")
+
+    def test_negative_within_rejected(self):
+        with pytest.raises(RuleParseError):
+            parse_rule('alert tcp any any -> any any (content:"a"; content:"b"; within:-1; sid:1;)')
+
+
+class TestChains:
+    def test_three_stage_relative_chain(self):
+        rule = parse_rule(
+            'alert tcp any any -> any any '
+            '(content:"a1"; content:"b2"; distance:1; content:"c3"; distance:1; sid:1;)'
+        )
+        assert rule.payload_matches(b"a1_b2_c3")
+        assert not rule.payload_matches(b"a1b2_c3")  # b2 too close to a1
+
+    def test_absolute_anchor_then_relative(self):
+        rule = parse_rule(
+            'alert tcp any any -> any any '
+            '(content:"HDR"; offset:0; depth:3; content:"VAL"; distance:0; within:4; sid:1;)'
+        )
+        assert rule.payload_matches(b"HDR:VAL....")
+        assert not rule.payload_matches(b"xHDR:VAL")      # HDR not at start
+        assert not rule.payload_matches(b"HDR......VAL")  # VAL too far
+
+    def test_relative_through_engine(self):
+        engine = DetectionEngine(
+            [
+                parse_rule(
+                    'alert tcp any any -> any any '
+                    '(content:"user="; content:"admin"; distance:0; within:2; sid:9;)'
+                )
+            ]
+        )
+        matcher = engine.assign_flow_matcher(FiveTuple.make("1.1.1.1", "2.2.2.2", 1, 2))
+        assert matcher.inspect(b"user=admin").verdict == "alert"
+        # Both patterns present but not adjacent: prescan hits, positional
+        # verification must reject.
+        assert matcher.inspect(b"user=nobody ... admin").verdict == "clean"
+
+    def test_nocase_composes_with_relative(self):
+        rule = parse_rule(
+            'alert tcp any any -> any any '
+            '(content:"Host:"; nocase; content:"EVIL"; nocase; distance:1; sid:1;)'
+        )
+        assert rule.payload_matches(b"host: evil.example")
+        assert not rule.payload_matches(b"host:evil")  # distance 1 unmet

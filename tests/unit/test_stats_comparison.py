@@ -1,0 +1,96 @@
+"""Unit tests for distribution comparison (repro.stats.comparison)."""
+
+import pytest
+
+from repro.stats import Comparison, Distribution, compare, comparison_rows
+
+
+class TestCompare:
+    def test_uniform_improvement(self):
+        baseline = Distribution([10.0, 20.0, 30.0, 40.0])
+        variant = Distribution([5.0, 10.0, 15.0, 20.0])
+        result = compare(baseline, variant)
+        assert result.reduction_at(0.50) == pytest.approx(50.0)
+        assert result.mean_reduction_pct == pytest.approx(50.0)
+        assert result.dominates
+
+    def test_regression_is_negative(self):
+        baseline = Distribution([10.0] * 10)
+        variant = Distribution([15.0] * 10)
+        result = compare(baseline, variant)
+        assert result.reduction_at(0.50) == pytest.approx(-50.0)
+        assert not result.dominates
+
+    def test_crossing_distributions_not_dominant(self):
+        # Variant better at the median, worse in the tail.
+        baseline = Distribution([10.0] * 9 + [100.0])
+        variant = Distribution([5.0] * 9 + [500.0])
+        result = compare(baseline, variant)
+        assert result.reduction_at(0.50) > 0
+        assert not result.dominates
+
+    def test_counts_recorded(self):
+        result = compare(Distribution([1.0, 2.0]), Distribution([1.0]))
+        assert result.baseline_count == 2
+        assert result.variant_count == 1
+
+    def test_custom_fractions(self):
+        baseline = Distribution(range(1, 101))
+        variant = Distribution(range(1, 101))
+        result = compare(baseline, variant, fractions=(0.25, 0.75))
+        assert set(result.reductions_pct) == {0.25, 0.75}
+        assert result.reduction_at(0.25) == pytest.approx(0.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            compare(Distribution(), Distribution([1.0]))
+
+    def test_nonpositive_baseline_percentile_rejected(self):
+        with pytest.raises(ValueError):
+            compare(Distribution([0.0, 0.0]), Distribution([1.0]))
+
+    def test_rows_rendering(self):
+        result = compare(Distribution([10.0] * 4), Distribution([5.0] * 4))
+        rows = comparison_rows(result)
+        labels = [label for label, __ in rows]
+        assert "p50 reduction" in labels
+        assert ("stochastic dominance", "yes") in rows
+
+    def test_str_summary(self):
+        result = compare(Distribution([10.0] * 4), Distribution([5.0] * 4))
+        text = str(result)
+        assert "p50" in text
+        assert "dominates" in text
+
+
+class TestEndToEnd:
+    def test_real_chain_comparison_dominates(self):
+        from repro.core.framework import ServiceChain, SpeedyBox
+        from repro.nf import IPFilter, Monitor
+        from repro.platform import BessPlatform
+        from repro.traffic import FlowSpec, TrafficGenerator
+        from repro.traffic.generator import clone_packets
+
+        def chain():
+            return [Monitor("m"), IPFilter("fw1"), IPFilter("fw2")]
+
+        flows = [
+            FlowSpec.tcp("10.0.0.1", "10.0.0.2", 1000 + i, 80, packets=6, payload=b"x")
+            for i in range(5)
+        ]
+        packets = TrafficGenerator(flows, interleave="round_robin").packets()
+        baseline_platform = BessPlatform(ServiceChain(chain()))
+        sbox_platform = BessPlatform(SpeedyBox(chain()))
+        baseline = Distribution(
+            [baseline_platform.process(p).latency_us for p in clone_packets(packets)]
+        )
+        variant = Distribution(
+            [sbox_platform.process(p).latency_us for p in clone_packets(packets)]
+        )
+        result = compare(baseline, variant)
+        assert result.reduction_at(0.50) > 20.0
+        # The slow initial packets cost more than the baseline's, so
+        # strict dominance does NOT hold for per-packet latency...
+        assert not result.dominates
+        # ...while the median and mean clearly improve.
+        assert result.mean_reduction_pct > 10.0

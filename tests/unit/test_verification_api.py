@@ -1,0 +1,102 @@
+"""Unit tests for the public equivalence-verification API."""
+
+import pytest
+
+from repro.core import verify_equivalence
+from repro.core.verification import Divergence, VerificationReport
+from repro.nf import IPFilter, MaglevLoadBalancer, Monitor
+from repro.nf.base import NetworkFunction
+from repro.nf.maglev import Backend
+from repro.traffic import FlowSpec, TrafficGenerator
+
+
+def packets(count=6, sport=1000):
+    spec = FlowSpec.tcp("10.0.0.1", "10.0.0.2", sport, 80, packets=count, payload=b"v")
+    return TrafficGenerator([spec]).packets()
+
+
+class TestVerifyEquivalence:
+    def test_correct_chain_verifies(self):
+        report = verify_equivalence(lambda: [Monitor("m"), IPFilter("fw")], packets())
+        assert report.equivalent
+        assert report.packets == 6
+        assert report.fast_packets == 5
+        assert report.slow_packets == 1
+        assert "EQUIVALENT" in report.summary()
+
+    def test_fast_path_rate(self):
+        report = verify_equivalence(lambda: [Monitor("m")], packets(10))
+        assert report.fast_path_rate == pytest.approx(0.9)
+
+    def test_intervention_hook(self):
+        backends = [Backend.make(f"b{i}", f"192.168.3.{i + 1}", 80) for i in range(3)]
+
+        def chain():
+            return [MaglevLoadBalancer("lb", backends=[Backend(b.name, b.ip, b.port) for b in backends], table_size=131)]
+
+        def fail(baseline, speedybox):
+            for runtime in (baseline, speedybox):
+                lb = runtime.nfs[0]
+                victim = next(iter(lb.conntrack.values()))
+                lb.fail_backend(victim.name)
+
+        report = verify_equivalence(chain, packets(8), interventions={4: fail})
+        assert report.equivalent
+        assert report.events_triggered == 1
+
+    def test_buggy_nf_caught(self):
+        class ForgetfulNF(NetworkFunction):
+            """Does a rewrite but 'forgets' to record it — the classic
+            instrumentation bug the verifier exists to catch."""
+
+            def process(self, packet, api):
+                self.ingress(packet)
+                fid = api.nf_extract_fid(packet)
+                from repro.core.actions import Forward, Modify
+
+                Modify.set(dst_port=9999).apply(packet)
+                api.add_header_action(fid, Forward())  # BUG: recorded Forward
+
+        report = verify_equivalence(lambda: [ForgetfulNF("buggy")], packets())
+        assert not report.equivalent
+        # Every fast-path packet diverges (5 of 6).
+        assert len(report.divergences) == 5
+        assert all(d.kind == "bytes" for d in report.divergences)
+        assert "DIVERGENCES" in report.summary()
+
+    def test_drop_divergence_reported(self):
+        class SilentDropper(NetworkFunction):
+            """Drops without recording the drop."""
+
+            def process(self, packet, api):
+                self.ingress(packet)
+                fid = api.nf_extract_fid(packet)
+                from repro.core.actions import Forward
+
+                packet.drop()
+                api.add_header_action(fid, Forward())  # BUG
+
+        report = verify_equivalence(lambda: [SilentDropper("sd")], packets())
+        assert not report.equivalent
+        assert all(d.kind == "drop" for d in report.divergences)
+
+    def test_summary_truncates_long_lists(self):
+        report = VerificationReport(packets=100)
+        for index in range(15):
+            report.divergences.append(Divergence(index, "bytes", "x"))
+        text = report.summary()
+        assert "and 5 more" in text
+
+    def test_speedybox_kwargs_passthrough(self):
+        report = verify_equivalence(
+            lambda: [Monitor("m")],
+            packets(),
+            speedybox_kwargs={"max_flows": 1},
+        )
+        assert report.equivalent
+
+    def test_input_packets_untouched(self):
+        stream = packets()
+        before = [p.serialize() for p in stream]
+        verify_equivalence(lambda: [IPFilter("fw", mark_dscp=9)], stream)
+        assert [p.serialize() for p in stream] == before
