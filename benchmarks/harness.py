@@ -13,8 +13,9 @@ tracks the harness's own performance.
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
-from typing import Callable, Dict, List, Sequence, Tuple, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.framework import ServiceChain, SpeedyBox
 from repro.net.packet import Packet
@@ -24,17 +25,35 @@ from repro.traffic import FlowSpec, TrafficGenerator
 from repro.traffic.generator import clone_packets
 
 RESULTS_DIR = Path(__file__).parent / "results"
+#: BENCH_<experiment>.json files land at the repo root so the perf
+#: trajectory (throughput, latency percentiles, cycles/packet) is a
+#: flat, diffable set of artifacts tracked across PRs.
+REPO_ROOT = Path(__file__).resolve().parent.parent
 
 #: Cycles charged for NIC RX+TX with default costs; the paper's
 #: "CPU cycle per packet" tables count chain processing only.
 NIC_CYCLES = 260.0
 
 
-def save_result(name: str, text: str) -> None:
-    """Print the rendered table/series and persist it under results/."""
+def save_result(name: str, text: str, metrics: Optional[Dict[str, float]] = None) -> None:
+    """Print the rendered table/series and persist it under results/.
+
+    When ``metrics`` is given, the machine-readable companion
+    ``BENCH_<name>.json`` is written at the repo root as well.
+    """
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
     print(f"\n=== {name} ===\n{text}\n")
+    if metrics is not None:
+        save_bench_json(name, metrics)
+
+
+def save_bench_json(experiment: str, metrics: Dict[str, float]) -> Path:
+    """Write BENCH_<experiment>.json at the repo root; returns the path."""
+    path = REPO_ROOT / f"BENCH_{experiment}.json"
+    payload = {"experiment": experiment, "metrics": metrics}
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
 
 
 def make_platform(platform_name: str, runtime, **kwargs) -> Platform:

@@ -45,6 +45,11 @@ def _report(results):
         [offered, f"{data['original']:.2f}", f"{data['speedybox']:.2f}"]
         for offered, data in sorted(results.items())
     ]
+    metrics = {
+        f"{variant}_p99_us_at_{offered}mpps": data[variant]
+        for offered, data in sorted(results.items())
+        for variant in ("original", "speedybox")
+    }
     save_result(
         "ablation_load_latency",
         format_table(
@@ -52,6 +57,7 @@ def _report(results):
             rows,
             title="Ablation: p99 latency vs offered load (BESS, 4 x IPFilter)",
         ),
+        metrics=metrics,
     )
 
 

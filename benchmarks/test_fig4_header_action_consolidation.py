@@ -49,6 +49,7 @@ def run_fig4():
 def _report(rows):
     for platform in ("bess", "onvm"):
         table_rows = []
+        metrics = {}
         for n in (1, 2, 3):
             result = rows[n][platform]
             table_rows.append(
@@ -60,12 +61,17 @@ def _report(rows):
                     chain_cycles(result["speedybox"]["sub"]),
                 ]
             )
+            for variant in ("original", "speedybox"):
+                for phase in ("init", "sub"):
+                    metrics[f"{variant}_{phase}_cycles_per_packet_n{n}"] = chain_cycles(
+                        result[variant][phase]
+                    )
         text = format_table(
             ["# Header Action", "Original-init", "SpeedyBox-init", "Original-sub", "SpeedyBox-sub"],
             table_rows,
             title=f"Figure 4 ({platform.upper()}): CPU cycles per packet vs header actions",
         )
-        save_result(f"fig4_{platform}", text)
+        save_result(f"fig4_{platform}", text, metrics=metrics)
 
 
 def _assert_shape(rows):

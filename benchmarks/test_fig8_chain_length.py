@@ -66,12 +66,17 @@ def _report(results):
                     _cell(results, "onvm", "speedybox", n, metric),
                 ]
             )
+        metrics = {
+            f"{platform}_{variant}_{metric}_n{n}": value
+            for (platform, variant, n), entry in results.items()
+            for value in [entry[metric]]
+        }
         text = format_table(
             ["Chain Length", "BESS", "BESS w/ SBox", "ONVM", "ONVM w/ SBox"],
             rows,
             title=f"Figure 8: {label} vs service chain length (ONVM max 5: core limit)",
         )
-        save_result(fname, text)
+        save_result(fname, text, metrics=metrics)
 
 
 def _assert_shape(results):

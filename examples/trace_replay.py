@@ -5,6 +5,10 @@
 2. Save it to a .sbtr capture file (the pcap-lite format).
 3. Load it back and replay it — paced by its own timestamps — through a
    chain with and without SpeedyBox, comparing loaded p99 latency.
+4. Capture the SpeedyBox replay with the packet tracer and export a
+   Chrome trace: open it in chrome://tracing or https://ui.perfetto.dev
+   to see each packet's residency on the chain core and the ring
+   occupancy breathing with the ON/OFF arrival bursts.
 
 This mirrors how the paper's Fig. 9 experiment replays the Benson et al.
 datacenter capture against its testbed.
@@ -15,7 +19,7 @@ Run:  python examples/trace_replay.py
 import tempfile
 from pathlib import Path
 
-from repro import BessPlatform, ServiceChain, SpeedyBox
+from repro import BessPlatform, PacketTracer, ServiceChain, SpeedyBox
 from repro.net.trace import load_trace, write_trace
 from repro.nf import IPFilter, Monitor, SnortIDS
 from repro.nf.snort.rules import parse_rules
@@ -69,6 +73,15 @@ def main():
     ))
     print("\n(the capture replays identically every run: the .sbtr file is")
     print("byte-exact, including payloads that exercise Snort's flowbits)")
+
+    # 4. Replay once more with tracing on; export a Chrome trace.
+    tracer = PacketTracer()
+    platform = BessPlatform(SpeedyBox(build_chain()), tracer=tracer)
+    platform.run_load(clone_packets(replayed), use_timestamps=True)
+    trace_path = Path(tempfile.gettempdir()) / "speedybox-replay-trace.json"
+    events = tracer.write_chrome(trace_path)
+    print(f"\nwrote {events} trace events to {trace_path}")
+    print("open it in chrome://tracing or https://ui.perfetto.dev")
 
 
 if __name__ == "__main__":

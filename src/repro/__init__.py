@@ -18,10 +18,12 @@ classifier - the paper's contribution), ``repro.nf`` (Snort, Maglev,
 IPFilter, Monitor, MazuNAT, ...), ``repro.platform`` (BESS and OpenNetVM
 models + cycle-cost model), ``repro.sim`` (discrete-event engine),
 ``repro.net`` (packets), ``repro.traffic`` (workloads), ``repro.stats``
-(measurement).
+(measurement), ``repro.obs`` (metrics registry + packet-path tracing —
+see docs/observability.md).
 """
 
 from repro.core import ServiceChain, SpeedyBox
+from repro.obs import MetricsRegistry, PacketTracer
 from repro.platform import BessPlatform, CostModel, OpenNetVMPlatform
 
 __version__ = "1.0.0"
@@ -29,7 +31,9 @@ __version__ = "1.0.0"
 __all__ = [
     "BessPlatform",
     "CostModel",
+    "MetricsRegistry",
     "OpenNetVMPlatform",
+    "PacketTracer",
     "ServiceChain",
     "SpeedyBox",
     "__version__",

@@ -46,6 +46,7 @@ from repro.nf import (
     VxlanTerminator,
 )
 from repro.nf.base import NetworkFunction
+from repro.obs import MetricsRegistry, NULL_REGISTRY, NULL_TRACER, PacketTracer
 from repro.platform import BessPlatform, OpenNetVMPlatform
 from repro.stats import Distribution, format_table
 from repro.traffic import DatacenterTraceConfig, DatacenterTraceGenerator, TrafficGenerator
@@ -88,12 +89,37 @@ def build_chain(spec: str) -> List[NetworkFunction]:
     return nfs
 
 
-def build_platform(name: str, runtime):
+def build_platform(name: str, runtime, metrics=NULL_REGISTRY, tracer=NULL_TRACER):
     if name == "bess":
-        return BessPlatform(runtime)
+        return BessPlatform(runtime, metrics=metrics, tracer=tracer)
     if name == "onvm":
-        return OpenNetVMPlatform(runtime)
+        return OpenNetVMPlatform(runtime, metrics=metrics, tracer=tracer)
     raise SystemExit(f"unknown platform {name!r} (bess|onvm)")
+
+
+def make_observability(args):
+    """Registry + tracer for a command, real only when a flag asks for them."""
+    metrics = MetricsRegistry() if getattr(args, "metrics_json", None) else NULL_REGISTRY
+    tracer = PacketTracer() if getattr(args, "trace_out", None) else NULL_TRACER
+    return metrics, tracer
+
+
+def emit_observability(args, metrics: MetricsRegistry, tracer: PacketTracer) -> None:
+    """Write --metrics-json / --trace-out outputs after a command ran."""
+    import json
+
+    if getattr(args, "metrics_json", None):
+        payload = json.dumps(metrics.snapshot(), indent=2, sort_keys=True)
+        if args.metrics_json == "-":
+            print(payload)
+        else:
+            with open(args.metrics_json, "w") as handle:
+                handle.write(payload + "\n")
+            print(f"wrote {len(metrics.snapshot())} metric series to {args.metrics_json}")
+    if getattr(args, "trace_out", None):
+        count = tracer.write_chrome(args.trace_out)
+        print(f"wrote {count} trace events to {args.trace_out} "
+              f"(open in chrome://tracing or ui.perfetto.dev)")
 
 
 def make_trace_packets(flows: int, seed: int, mean_packets: float = 8.0):
@@ -122,13 +148,19 @@ def cmd_demo(args: argparse.Namespace) -> int:
     packets = make_trace_packets(args.flows, args.seed)
     print(f"chain: {args.chain}   platform: {args.platform}   packets: {len(packets)}")
 
+    metrics, tracer = make_observability(args)
     rows = []
     variants = [("original", ServiceChain)]
     if not args.no_speedybox:
         variants.append(("speedybox", SpeedyBox))
     results = {}
     for label, runtime_cls in variants:
-        platform = build_platform(args.platform, runtime_cls(build_chain(args.chain)))
+        platform = build_platform(
+            args.platform,
+            runtime_cls(build_chain(args.chain), metrics=metrics),
+            metrics=metrics,
+            tracer=tracer,
+        )
         latency = Distribution()
         dropped = 0
         for packet in clone_packets(packets):
@@ -152,6 +184,7 @@ def cmd_demo(args: argparse.Namespace) -> int:
     if "speedybox" in results:
         reduction = 100 * (1 - results["speedybox"].p50 / results["original"].p50)
         print(f"\np50 latency reduction: {reduction:.1f}%")
+    emit_observability(args, metrics, tracer)
     if args.dump_rules and not args.no_speedybox:
         # Re-run once to leave the runtime populated, then dump its MAT.
         # FIN packets are withheld so the rules survive for inspection.
@@ -172,12 +205,16 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     max_len = args.max_length
     if args.platform == "onvm":
         max_len = min(max_len, OpenNetVMPlatform.MAX_CHAIN_LENGTH)
+    metrics, tracer = make_observability(args)
     rows = []
     for n in range(1, max_len + 1):
         row = [n]
         for runtime_cls in (ServiceChain, SpeedyBox):
             chain = [IPFilter(f"fw{i}") for i in range(n)]
-            platform = build_platform(args.platform, runtime_cls(chain))
+            platform = build_platform(
+                args.platform, runtime_cls(chain, metrics=metrics),
+                metrics=metrics, tracer=tracer,
+            )
             outcomes = platform.process_all(clone_packets(packets))
             latency = Distribution([o.latency_us for o in outcomes])
             row.append(f"{latency.p50:.3f}")
@@ -187,6 +224,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         rows,
         title=f"latency vs chain length on {args.platform}",
     ))
+    emit_observability(args, metrics, tracer)
     return 0
 
 
@@ -254,6 +292,20 @@ def make_parser() -> argparse.ArgumentParser:
         p.add_argument("--flows", type=int, default=40, help="flows in the synthetic trace")
         p.add_argument("--seed", type=int, default=1, help="trace seed")
 
+    def observability(p):
+        p.add_argument(
+            "--metrics-json",
+            metavar="PATH",
+            help="enable the metrics registry and write its snapshot as JSON "
+                 "('-' prints to stdout)",
+        )
+        p.add_argument(
+            "--trace-out",
+            metavar="PATH",
+            help="enable the packet-path tracer and write a Chrome trace-event "
+                 "file (opens in chrome://tracing / Perfetto)",
+        )
+
     demo = sub.add_parser("demo", help="run a chain with and without SpeedyBox")
     demo.add_argument("--chain", default="nat,monitor,firewall")
     demo.add_argument("--platform", default="bess", choices=("bess", "onvm"))
@@ -267,12 +319,14 @@ def make_parser() -> argparse.ArgumentParser:
         help="after the run, dump the last N consolidated Global MAT rules",
     )
     common(demo)
+    observability(demo)
     demo.set_defaults(func=cmd_demo)
 
     sweep = sub.add_parser("sweep", help="chain-length sweep (live Fig. 8)")
     sweep.add_argument("--platform", default="bess", choices=("bess", "onvm"))
     sweep.add_argument("--max-length", type=int, default=9)
     common(sweep)
+    observability(sweep)
     sweep.set_defaults(func=cmd_sweep)
 
     equivalence = sub.add_parser("equivalence", help="lockstep output comparison")

@@ -27,6 +27,7 @@ from typing import Dict, Optional
 from repro.net.flow import FiveTuple, PROTO_TCP
 from repro.net.headers import TCP_FIN, TCP_RST, TCP_SYN, TCPHeader
 from repro.net.packet import Packet
+from repro.obs.registry import MetricsRegistry, NULL_REGISTRY
 from repro.platform.costs import CycleMeter, NULL_METER, Operation
 
 FID_BITS = 20
@@ -99,10 +100,19 @@ class Classification:
 class PacketClassifier:
     """FID assignment, connection tracking and flow cleanup."""
 
-    def __init__(self):
+    def __init__(self, metrics: MetricsRegistry = NULL_REGISTRY):
         self._flows: Dict[int, FlowEntry] = {}
         self.collisions = 0
         self.packets_classified = 0
+        self._m_classified = metrics.counter(
+            "classifier_packets_total", "packets assigned a FID"
+        )
+        self._m_collisions = metrics.counter(
+            "classifier_fid_collisions_total", "live-flow 20-bit FID collisions"
+        )
+        self._m_flows = metrics.gauge(
+            "classifier_tracked_flows", "flow entries currently tracked"
+        )
 
     def __len__(self) -> int:
         return len(self._flows)
@@ -113,6 +123,7 @@ class PacketClassifier:
     def classify(self, packet: Packet, meter: CycleMeter = NULL_METER) -> Classification:
         """Assign the FID, update connection state, attach metadata."""
         self.packets_classified += 1
+        self._m_classified.inc()
         meter.charge(Operation.PARSE)  # the single parse of the fast design
         five_tuple = packet.five_tuple()
         fid = fid_of(five_tuple)
@@ -122,6 +133,7 @@ class PacketClassifier:
         if entry is not None and entry.five_tuple != five_tuple:
             # 20-bit collision between live flows: pin to the slow path.
             self.collisions += 1
+            self._m_collisions.inc()
             packet.metadata["fid"] = fid
             packet.metadata["fid_collision"] = True
             meter.charge(Operation.METADATA_ATTACH)
@@ -130,6 +142,7 @@ class PacketClassifier:
         if entry is None:
             entry = FlowEntry(fid=fid, five_tuple=five_tuple)
             self._flows[fid] = entry
+            self._m_flows.set(len(self._flows))
         entry.packets += 1
 
         is_handshake = False
@@ -163,4 +176,7 @@ class PacketClassifier:
 
     def remove_flow(self, fid: int) -> bool:
         """Forget a closed flow (frees the FID for reuse)."""
-        return self._flows.pop(fid, None) is not None
+        removed = self._flows.pop(fid, None) is not None
+        if removed:
+            self._m_flows.set(len(self._flows))
+        return removed

@@ -20,6 +20,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.core.actions import HeaderAction
 from repro.core.state_function import StateFunction
+from repro.obs.registry import MetricsRegistry, NULL_REGISTRY
 
 ConditionHandler = Callable[..., bool]
 UpdateFunctionHandler = Callable[..., Optional[HeaderAction]]
@@ -99,15 +100,25 @@ class Event:
 class EventTable:
     """All registered events, indexed by FID."""
 
-    def __init__(self):
+    def __init__(self, metrics: MetricsRegistry = NULL_REGISTRY):
         self._by_fid: Dict[int, List[Event]] = {}
         self.total_registered = 0
         self.total_triggered = 0
         self.total_checks = 0
+        self._m_registered = metrics.counter(
+            "events_registered_total", "events NFs registered for flows"
+        )
+        self._m_triggered = metrics.counter(
+            "events_triggered_total", "event conditions that fired"
+        )
+        self._m_checks = metrics.counter(
+            "event_checks_total", "condition evaluations on the fast path"
+        )
 
     def register(self, event: Event) -> None:
         self._by_fid.setdefault(event.fid, []).append(event)
         self.total_registered += 1
+        self._m_registered.inc()
 
     def events_for(self, fid: int) -> List[Event]:
         return list(self._by_fid.get(fid, ()))
@@ -143,9 +154,11 @@ class EventTable:
             if not event.active:
                 continue
             self.total_checks += 1
+            self._m_checks.inc()
             if event.check():
                 replacement = event.fire()
                 self.total_triggered += 1
+                self._m_triggered.inc()
                 fired.append((event, replacement))
         return fired
 

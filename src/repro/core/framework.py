@@ -37,6 +37,7 @@ from repro.core.global_mat import GlobalMAT, GlobalRule
 from repro.core.local_mat import InstrumentationAPI, LocalMAT, NullInstrumentationAPI
 from repro.net.packet import Packet
 from repro.nf.base import NetworkFunction
+from repro.obs.registry import MetricsRegistry, NULL_REGISTRY
 from repro.platform.costs import CycleMeter, NULL_METER as _NULL_API_METER, Operation
 
 
@@ -87,13 +88,20 @@ def _check_unique_names(nfs: Sequence[NetworkFunction]) -> None:
 class ServiceChain:
     """The original chain: sequential NF traversal, no consolidation."""
 
-    def __init__(self, nfs: Sequence[NetworkFunction]):
+    def __init__(self, nfs: Sequence[NetworkFunction], metrics: MetricsRegistry = NULL_REGISTRY):
         if not nfs:
             raise ValueError("a service chain needs at least one NF")
         _check_unique_names(nfs)
         self.nfs: List[NetworkFunction] = list(nfs)
         self._api = NullInstrumentationAPI()
         self.packets = 0
+        self.metrics = metrics
+        self._m_packets = metrics.counter(
+            "chain_packets_total", "packets through the original chain"
+        )
+        self._m_drops = metrics.counter(
+            "packets_dropped_total", "drops attributed to the NF that dropped"
+        )
 
     @property
     def nf_names(self) -> Tuple[str, ...]:
@@ -105,6 +113,7 @@ class ServiceChain:
     def process(self, packet: Packet) -> ProcessReport:
         """Run the packet through every NF in order (stop at drop)."""
         self.packets += 1
+        self._m_packets.inc()
         report = ProcessReport(path=PathTaken.ORIGINAL, fid=-1)
         for nf in self.nfs:
             meter = CycleMeter()
@@ -116,6 +125,7 @@ class ServiceChain:
             report.nf_meters.append((nf.name, meter))
             if packet.dropped:
                 report.dropped = True
+                self._m_drops.labels(cause=nf.name).inc()
                 break
         if _is_closing_packet(packet):
             report.closing = True
@@ -153,6 +163,7 @@ class SpeedyBox:
         enable_consolidation: bool = True,
         enable_parallelism: bool = True,
         max_flows: Optional[int] = None,
+        metrics: MetricsRegistry = NULL_REGISTRY,
     ):
         if not nfs:
             raise ValueError("SpeedyBox needs at least one NF")
@@ -161,12 +172,14 @@ class SpeedyBox:
         self.nf_by_name: Dict[str, NetworkFunction] = {nf.name: nf for nf in nfs}
         self.enable_consolidation = enable_consolidation
         self.max_flows = max_flows
-        self.classifier = PacketClassifier()
-        self.event_table = EventTable()
+        self.metrics = metrics
+        self.classifier = PacketClassifier(metrics=metrics)
+        self.event_table = EventTable(metrics=metrics)
         self.global_mat = GlobalMAT(
             enable_parallelism=enable_parallelism,
             capacity=max_flows,
             on_evict=self._on_rule_evicted,
+            metrics=metrics,
         )
         self.local_mats: Dict[str, LocalMAT] = {
             nf.name: LocalMAT(nf.name, self.event_table) for nf in nfs
@@ -176,6 +189,25 @@ class SpeedyBox:
         }
         self.slow_packets = 0
         self.fast_packets = 0
+        path_counter = metrics.counter(
+            "path_packets_total", "packets by path taken through the runtime"
+        )
+        self._m_path = {path: path_counter.labels(path=path.value) for path in PathTaken}
+        self._m_drops = metrics.counter(
+            "packets_dropped_total", "drops attributed to the NF that dropped"
+        )
+        self._m_fast = metrics.counter(
+            "fast_path_packets_total", "packets served by the Global MAT fast path"
+        )
+        self._m_slow = metrics.counter(
+            "slow_path_packets_total", "packets that traversed the original chain"
+        )
+        self._m_events_fired = metrics.counter(
+            "fast_path_events_fired_total", "event firings observed on the fast path"
+        )
+        self._m_flow_deletes = metrics.counter(
+            "flow_deletes_total", "FIN/RST full-table flow teardowns"
+        )
 
     @property
     def nf_names(self) -> Tuple[str, ...]:
@@ -211,18 +243,23 @@ class SpeedyBox:
 
         if classification.is_closing:
             self.delete_flow(classification.fid, report.fixed_meter)
+            self._m_flow_deletes.inc()
             # NFs clean their own per-flow state on FIN/RST, exactly as
             # they would when seeing the teardown on the original path.
             for nf in self.nfs:
                 nf.handle_flow_close(packet)
 
         self.classifier.detach(packet, report.fixed_meter)
+        self._m_path[report.path].inc()
+        if report.events_fired:
+            self._m_events_fired.inc(report.events_fired)
         return report
 
     # -- original path with recording ---------------------------------------
 
     def _run_original(self, packet: Packet, report: ProcessReport, record: bool) -> None:
         self.slow_packets += 1
+        self._m_slow.inc()
         fid = report.fid
         if record:
             for nf in self.nfs:
@@ -243,6 +280,7 @@ class SpeedyBox:
             report.nf_meters.append((nf.name, meter))
             if packet.dropped:
                 report.dropped = True
+                self._m_drops.labels(cause=nf.name).inc()
                 break
 
         if record and not report.closing:
@@ -259,6 +297,7 @@ class SpeedyBox:
 
     def _run_fast(self, packet: Packet, rule: GlobalRule, report: ProcessReport) -> None:
         self.fast_packets += 1
+        self._m_fast.inc()
         fid = rule.fid
         meter = report.fixed_meter
         meter.charge(Operation.FAST_PATH_DISPATCH)
@@ -314,6 +353,8 @@ class SpeedyBox:
         report.events_fired += fired
 
         report.dropped = packet.dropped
+        if report.dropped:
+            self._m_drops.labels(cause=rule.dropper or "consolidated").inc()
 
     def _apply_nondrop(self, action: ConsolidatedAction, packet: Packet, meter: CycleMeter) -> None:
         """Charge and apply a consolidated action's non-drop effects."""
@@ -406,12 +447,13 @@ class SpeedyBox:
 
     def reset(self) -> None:
         """Fresh run: clear all tables and NF state."""
-        self.classifier = PacketClassifier()
-        self.event_table = EventTable()
+        self.classifier = PacketClassifier(metrics=self.metrics)
+        self.event_table = EventTable(metrics=self.metrics)
         self.global_mat = GlobalMAT(
             enable_parallelism=self.global_mat.enable_parallelism,
             capacity=self.max_flows,
             on_evict=self._on_rule_evicted,
+            metrics=self.metrics,
         )
         self.local_mats = {nf.name: LocalMAT(nf.name, self.event_table) for nf in self.nfs}
         self.apis = {

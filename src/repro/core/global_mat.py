@@ -24,6 +24,7 @@ from repro.core.consolidation import ConsolidatedAction, consolidate_header_acti
 from repro.core.local_mat import LocalRule
 from repro.core.parallel import ParallelSchedule, build_schedule
 from repro.core.state_function import StateFunctionBatch
+from repro.obs.registry import MetricsRegistry, NULL_REGISTRY
 
 
 class GlobalRule:
@@ -89,6 +90,7 @@ class GlobalMAT:
         enable_parallelism: bool = True,
         capacity: Optional[int] = None,
         on_evict: Optional[Callable[[int], None]] = None,
+        metrics: MetricsRegistry = NULL_REGISTRY,
     ):
         if capacity is not None and capacity <= 0:
             raise ValueError(f"capacity must be positive, got {capacity!r}")
@@ -99,6 +101,21 @@ class GlobalMAT:
         self.consolidations = 0
         self.reconsolidations = 0
         self.evictions = 0
+        lookups = metrics.counter("global_mat_lookups_total", "fast-path rule lookups")
+        self._m_hits = lookups.labels(result="hit")
+        self._m_misses = lookups.labels(result="miss")
+        self._m_consolidations = metrics.counter(
+            "global_mat_consolidations_total", "rules built (incl. rebuilds)"
+        )
+        self._m_reconsolidations = metrics.counter(
+            "global_mat_reconsolidations_total", "event-driven rule rebuilds"
+        )
+        self._m_evictions = metrics.counter(
+            "global_mat_evictions_total", "LRU evictions at capacity"
+        )
+        self._m_occupancy = metrics.gauge(
+            "global_mat_occupancy", "rules currently installed"
+        )
 
     def __len__(self) -> int:
         return len(self._rules)
@@ -111,6 +128,9 @@ class GlobalMAT:
         if rule is not None:
             rule.hits += 1
             self._rules.move_to_end(fid)  # most recently used
+            self._m_hits.inc()
+        else:
+            self._m_misses.inc()
         return rule
 
     def peek(self, fid: int) -> Optional[GlobalRule]:
@@ -171,10 +191,13 @@ class GlobalMAT:
             new_rule.version = existing.version + 1
             new_rule.hits = existing.hits
             self.reconsolidations += 1
+            self._m_reconsolidations.inc()
         self.consolidations += 1
+        self._m_consolidations.inc()
         self._rules[fid] = new_rule
         self._rules.move_to_end(fid)
         self._enforce_capacity(keep_fid=fid)
+        self._m_occupancy.set(len(self._rules))
         return new_rule
 
     def _enforce_capacity(self, keep_fid: int) -> None:
@@ -188,12 +211,16 @@ class GlobalMAT:
                 victim_fid = next(iter(self._rules))
             del self._rules[victim_fid]
             self.evictions += 1
+            self._m_evictions.inc()
             if self.on_evict is not None:
                 self.on_evict(victim_fid)
 
     def delete_flow(self, fid: int) -> bool:
         """FIN/RST cleanup (§VI-B): drop the rule, free the memory."""
-        return self._rules.pop(fid, None) is not None
+        removed = self._rules.pop(fid, None) is not None
+        if removed:
+            self._m_occupancy.set(len(self._rules))
+        return removed
 
     def flows(self) -> Tuple[int, ...]:
         return tuple(self._rules)

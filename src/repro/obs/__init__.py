@@ -1,0 +1,57 @@
+"""Observability: metrics registry, packet-path tracing, engine hooks.
+
+The paper's evaluation (§VII) is an observability exercise — per-packet
+CPU cycles, fast/slow-path hit rates, ring occupancy, event-table
+firings.  This package makes those signals first-class instead of ad-hoc
+benchmark arithmetic:
+
+- :mod:`repro.obs.registry` — ``Counter``/``Gauge``/``Histogram`` with
+  labels behind a :class:`MetricsRegistry`; the classifier, Global MAT,
+  Event Table, framework and platforms all publish into one.
+- :mod:`repro.obs.trace` — the :class:`PacketTracer` records per-packet
+  spans and exports JSON-lines or Chrome trace-event JSON (opens in
+  ``chrome://tracing`` / Perfetto).
+- :mod:`repro.obs.hooks` — observers for the discrete-event engine
+  (process lifecycle, store put/get/blocked).
+- :mod:`repro.obs.timeline` — builds unloaded-mode span timelines from
+  :class:`~repro.core.framework.ProcessReport` objects.
+
+Everything defaults to *off* via shared null objects
+(:data:`NULL_REGISTRY`, :data:`NULL_TRACER`); with observability
+disabled, instrumented code paths cost one no-op method call and the
+simulated cycle outputs are bit-identical to an uninstrumented build.
+"""
+
+from repro.obs.hooks import (
+    CountingObserver,
+    EngineObserver,
+    FanoutObserver,
+    TracingObserver,
+)
+from repro.obs.registry import (
+    Counter,
+    DEFAULT_BUCKETS,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_REGISTRY,
+)
+from repro.obs.timeline import trace_unloaded
+from repro.obs.trace import NULL_TRACER, PacketTracer, Span
+
+__all__ = [
+    "Counter",
+    "CountingObserver",
+    "DEFAULT_BUCKETS",
+    "EngineObserver",
+    "FanoutObserver",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "NULL_TRACER",
+    "PacketTracer",
+    "Span",
+    "TracingObserver",
+    "trace_unloaded",
+]

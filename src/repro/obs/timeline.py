@@ -1,0 +1,135 @@
+"""Unloaded-mode packet timelines: ProcessReport → tracer spans.
+
+:func:`trace_unloaded` lays one packet's journey out on tracer tracks
+using the platform's own cost model for durations — NIC RX, the
+classifier + MAT fixed work, then either the slow path (per-hop
+transport + NF service, chain order) or the fast path (dispatch, the
+consolidated header action, and the state-function schedule with
+parallel waves fanned out onto per-worker-core tracks exactly as the
+platform's list scheduler would place them), and finally NIC TX.
+
+Track names are ``<platform>:<variant>:main`` for the dispatching core
+and ``...:worker<i>`` for the SF worker cores, so a Chrome/Perfetto view
+shows one swimlane per core.  Every span carries its raw cycle count in
+``args`` — the answer to "which hop cost this packet 400 cycles".
+
+Loaded-mode (``run_load``) tracing lives in the platform itself, where
+the discrete-event engine supplies real timestamps; this module covers
+the per-packet microscope of unloaded mode.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Tuple
+
+from repro.obs.trace import PacketTracer
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from repro.core.framework import ProcessReport
+    from repro.platform.base import Platform
+
+
+def _variant(platform: "Platform") -> str:
+    return "speedybox" if platform.with_speedybox else "original"
+
+
+def trace_unloaded(
+    tracer: PacketTracer,
+    platform: "Platform",
+    report: "ProcessReport",
+    start_ns: float,
+    packet_index: int,
+) -> float:
+    """Record one packet's spans starting at ``start_ns``; returns end time."""
+    model = platform.costs
+    base = f"{platform.name}:{_variant(platform)}"
+    main = f"{base}:main"
+    common = {"packet": packet_index, "fid": report.fid, "path": report.path.value}
+
+    t = start_ns
+    rx_cycles = model.nic_rx / platform.config.batch_size
+    tracer.span("nic_rx", main, t, model.cycles_to_ns(rx_cycles), cycles=rx_cycles, **common)
+    t += model.cycles_to_ns(rx_cycles)
+
+    fixed_cycles = report.fixed_meter.cycles(model)
+    tracer.span(
+        "classify+mat", main, t, model.cycles_to_ns(fixed_cycles), cycles=fixed_cycles, **common
+    )
+    t += model.cycles_to_ns(fixed_cycles)
+
+    if report.is_fast:
+        extra = platform._fast_path_extra_cycles()
+        if extra:
+            tracer.span("fast_path_tx_ring", main, t, model.cycles_to_ns(extra),
+                        cycles=extra, **common)
+            t += model.cycles_to_ns(extra)
+        t = _trace_sf_waves(tracer, platform, report, base, main, t, common)
+    else:
+        hop_cycles = platform._transport_cycles_per_hop()
+        for nf_name, meter in report.nf_meters:
+            tracer.span("transport", main, t, model.cycles_to_ns(hop_cycles),
+                        cycles=hop_cycles, **common)
+            t += model.cycles_to_ns(hop_cycles)
+            nf_cycles = meter.cycles(model)
+            tracer.span(f"nf:{nf_name}", main, t, model.cycles_to_ns(nf_cycles),
+                        cycles=nf_cycles, **common)
+            t += model.cycles_to_ns(nf_cycles)
+
+    if report.events_fired:
+        tracer.instant("events_fired", main, t, count=report.events_fired, **common)
+    if report.dropped:
+        tracer.instant("dropped", main, t, **common)
+    else:
+        tx_cycles = model.nic_tx / platform.config.batch_size
+        tracer.span("nic_tx", main, t, model.cycles_to_ns(tx_cycles), cycles=tx_cycles, **common)
+        t += model.cycles_to_ns(tx_cycles)
+    return t
+
+
+def _trace_sf_waves(
+    tracer: PacketTracer,
+    platform: "Platform",
+    report: "ProcessReport",
+    base: str,
+    main: str,
+    t: float,
+    common: dict,
+) -> float:
+    """Lay out the state-function schedule; parallel waves fan to workers."""
+    model = platform.costs
+    for wave_index, wave in enumerate(report.sf_waves):
+        if len(wave) == 1:
+            nf_name, meter = wave[0]
+            cycles = meter.cycles(model)
+            tracer.span(f"sf:{nf_name}", main, t, model.cycles_to_ns(cycles),
+                        cycles=cycles, wave=wave_index, **common)
+            t += model.cycles_to_ns(cycles)
+            continue
+
+        overhead = (
+            model.worker_fork + model.worker_join + platform._parallel_sync_cycles()
+        )
+        # Greedy LPT placement, mirroring makespan_with_workers: longest
+        # batch first onto the earliest-finishing worker core.
+        durations: List[Tuple[float, str]] = sorted(
+            ((meter.cycles(model), nf_name) for nf_name, meter in wave), reverse=True
+        )
+        workers = max(1, min(platform.config.worker_cores, len(durations)))
+        finish = [0.0] * workers
+        for cycles, nf_name in durations:
+            slot = finish.index(min(finish))
+            tracer.span(
+                f"sf:{nf_name}",
+                f"{base}:worker{slot}",
+                t + model.cycles_to_ns(finish[slot]),
+                model.cycles_to_ns(cycles),
+                cycles=cycles,
+                wave=wave_index,
+                **common,
+            )
+            finish[slot] += cycles
+        wall = max(finish) + overhead
+        tracer.span("fork+join", main, t, model.cycles_to_ns(wall),
+                    cycles=overhead, wave=wave_index, batches=len(wave), **common)
+        t += model.cycles_to_ns(wall)
+    return t

@@ -25,8 +25,13 @@ from typing import List, Optional, Sequence, Tuple, Union
 
 from repro.core.framework import PathTaken, ProcessReport, ServiceChain, SpeedyBox
 from repro.net.packet import Packet
+from repro.obs.hooks import CountingObserver, FanoutObserver, TracingObserver
+from repro.obs.registry import MetricsRegistry, NULL_REGISTRY
+from repro.obs.timeline import trace_unloaded
+from repro.obs.trace import NULL_TRACER, PacketTracer
 from repro.platform.costs import CostModel, CycleMeter, Operation
 from repro.sim import Engine, Get, Put, Store, Timeout
+from repro.stats.summary import percentile
 
 
 @dataclass
@@ -97,11 +102,16 @@ class LoadResult:
         return (self.delivered + self.dropped) / (self.makespan_ns / 1000.0)
 
     def latency_percentile(self, fraction: float) -> float:
+        """Nearest-rank percentile of the loaded latencies.
+
+        Delegates to :func:`repro.stats.summary.percentile` (rank =
+        ``ceil(fraction * n)``); the previous ``int(fraction * n)``
+        index was biased low for small samples — p100 of a 4-sample
+        list only hit the maximum via the clamp.
+        """
         if not self.latencies_ns:
             return 0.0
-        ordered = sorted(self.latencies_ns)
-        index = min(len(ordered) - 1, max(0, int(fraction * len(ordered))))
-        return ordered[index]
+        return percentile(self.latencies_ns, fraction)
 
 
 #: A packet's temporal footprint: per-hop (stage_index, service_ns).
@@ -149,10 +159,24 @@ class Platform:
         self,
         runtime: Union[ServiceChain, SpeedyBox],
         config: Optional[PlatformConfig] = None,
+        metrics: MetricsRegistry = NULL_REGISTRY,
+        tracer: PacketTracer = NULL_TRACER,
     ):
         self.runtime = runtime
         self.config = config or PlatformConfig()
         self.packets = 0
+        self.metrics = metrics
+        self.tracer = tracer
+        #: monotonic unloaded-mode timeline cursor (ns) for the tracer
+        self._trace_clock_ns = 0.0
+        self._m_packets = metrics.counter(
+            "platform_packets_total", "packets timed by a platform"
+        ).labels(platform=self.name)
+        self._m_latency = metrics.histogram(
+            "unloaded_latency_ns",
+            "per-packet wall-clock latency in unloaded mode",
+            buckets=(250, 500, 1000, 2000, 4000, 8000, 16000, 64000, 256000),
+        ).labels(platform=self.name)
 
     @property
     def costs(self) -> CostModel:
@@ -236,6 +260,12 @@ class Platform:
         self.packets += 1
         report = self.runtime.process(packet)
         work, latency, main_core = self._time_report(report)
+        self._m_packets.inc()
+        self._m_latency.observe(self.costs.cycles_to_ns(latency))
+        if self.tracer.enabled:
+            self._trace_clock_ns = trace_unloaded(
+                self.tracer, self, report, self._trace_clock_ns, self.packets - 1
+            )
         return PacketOutcome(
             packet=packet,
             report=report,
@@ -257,6 +287,10 @@ class Platform:
 
     def _stage_count(self) -> int:
         raise NotImplementedError
+
+    def _stage_label(self, stage_index: int) -> str:
+        """Human name for a pipeline stage (trace track / ring metric label)."""
+        return f"stage{stage_index}"
 
     def run_load(
         self,
@@ -288,19 +322,34 @@ class Platform:
                 dropped += 1
 
         engine = Engine()
+        self._attach_observer(engine)
         stage_count = self._stage_count()
         rings = [
-            Store(engine, capacity=self.config.ring_capacity, name=f"ring{i}")
+            Store(
+                engine,
+                capacity=self.config.ring_capacity,
+                name=f"{self.name}:{self._stage_label(i)}",
+            )
             for i in range(stage_count)
         ]
-        done = Store(engine, name="done")
+        done = Store(engine, name=f"{self.name}:done")
         arrival_at: dict = {}
         completions: List[Tuple[int, float]] = []
+        tracing = self.tracer.enabled
 
         def delay_hop(packet_index: int, hop: int, plan: StagePlan):
             """A None-stage hop: pure delay, no core contention."""
             __, service_ns = plan[hop]
+            started = engine.now
             yield Timeout(service_ns)
+            if tracing:
+                self.tracer.span(
+                    f"pkt{packet_index}",
+                    f"{self.name}:offload",
+                    started,
+                    engine.now - started,
+                    hop=hop,
+                )
             yield from forward(packet_index, hop, plan)
 
         def forward(packet_index: int, hop: int, plan: StagePlan):
@@ -328,13 +377,19 @@ class Platform:
                     yield Put(rings[first_stage], (index, 0, plan))
 
         def stage_worker(stage_index: int):
+            track = f"{self.name}:{self._stage_label(stage_index)}"
             while True:
                 item = yield Get(rings[stage_index])
                 if item is None:
                     return
                 packet_index, hop, plan = item
                 __, service_ns = plan[hop]
+                started = engine.now
                 yield Timeout(service_ns)
+                if tracing:
+                    self.tracer.span(
+                        f"pkt{packet_index}", track, started, engine.now - started, hop=hop
+                    )
                 yield from forward(packet_index, hop, plan)
 
         def sink():
@@ -349,6 +404,7 @@ class Platform:
             engine.add_process(stage_worker(stage_index), name=f"stage{stage_index}")
         engine.add_process(sink(), name="sink")
         engine.run()
+        self._publish_load_metrics(rings)
 
         latencies = [finished_at - arrival_at[index] for index, finished_at in completions]
         makespan = max(t for __, t in completions) if completions else 0.0
@@ -360,6 +416,48 @@ class Platform:
             latencies_ns=latencies,
         )
 
+    # -- loaded-mode observability --------------------------------------------
+
+    def _attach_observer(self, engine: Engine) -> None:
+        """Hook the replay engine up to the tracer and/or metrics registry.
+
+        The counting observer streams engine counters (resumes, blocked
+        puts/gets) straight into the registry; the tracing observer
+        streams ring occupancy into the tracer.  With both disabled the
+        engine's observer stays ``None`` and the replay is untouched.
+        """
+        observers = []
+        if self.metrics.enabled:
+            observers.append(CountingObserver(self.metrics))
+        if self.tracer.enabled:
+            observers.append(TracingObserver(self.tracer))
+        if len(observers) == 1:
+            engine.observer = observers[0]
+        elif observers:
+            engine.observer = FanoutObserver(*observers)
+
+    def _publish_load_metrics(self, rings: Sequence[Store]) -> None:
+        """Per-ring enqueue/dequeue/high-water after a loaded run."""
+        if not self.metrics.enabled:
+            return
+        enqueues = self.metrics.counter(
+            "ring_enqueue_total", "descriptors enqueued per inter-stage ring"
+        )
+        dequeues = self.metrics.counter(
+            "ring_dequeue_total", "descriptors dequeued per inter-stage ring"
+        )
+        high_water = self.metrics.gauge(
+            "ring_high_watermark", "deepest occupancy each ring reached"
+        )
+        for ring in rings:
+            enqueues.labels(ring=ring.name).inc(ring.total_put)
+            dequeues.labels(ring=ring.name).inc(ring.total_got)
+            high_water.labels(ring=ring.name).set(ring.high_watermark)
+        self.metrics.counter(
+            "load_runs_total", "run_load invocations"
+        ).labels(platform=self.name).inc()
+
     def reset(self) -> None:
         self.packets = 0
+        self._trace_clock_ns = 0.0
         self.runtime.reset()

@@ -42,6 +42,10 @@ class BessPlatform(Platform):
     def _stage_count(self) -> int:
         return 1
 
+    def _stage_label(self, stage_index: int) -> str:
+        # The whole chain runs to completion on one dedicated core.
+        return "chain-core"
+
     def _stage_plan(self, report: ProcessReport) -> StagePlan:
         # Run-to-completion: the core blocks until the packet finishes
         # (including the join of any parallel SF waves), so occupancy is

@@ -48,8 +48,9 @@ class OpenNetVMPlatform(Platform):
         runtime: Union[ServiceChain, SpeedyBox],
         config: Optional[PlatformConfig] = None,
         enforce_core_limit: bool = True,
+        **kwargs,
     ):
-        super().__init__(runtime, config)
+        super().__init__(runtime, config, **kwargs)
         if enforce_core_limit and len(runtime.nfs) > self.MAX_CHAIN_LENGTH:
             raise ValueError(
                 f"OpenNetVM on the paper's 14-core testbed supports at most "
@@ -82,6 +83,15 @@ class OpenNetVMPlatform(Platform):
         # because state functions of the same flow must not race (and
         # the saturation benchmarks drive a single flow).
         return 2 + len(self.runtime.nfs)
+
+    def _stage_label(self, stage_index: int) -> str:
+        # Stage 0 is the Manager core, 1..k the per-NF cores, k+1 the
+        # SF worker pool — one trace track / ring label per core.
+        if stage_index == 0:
+            return "manager"
+        if stage_index == 1 + len(self.runtime.nfs):
+            return "sf-workers"
+        return f"nf:{self.runtime.nfs[stage_index - 1].name}"
 
     def _stage_plan(self, report: ProcessReport) -> StagePlan:
         model = self.costs

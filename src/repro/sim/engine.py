@@ -170,13 +170,24 @@ class Process:
 
 
 class Engine:
-    """The event loop: a priority queue of (time, sequence, callback)."""
+    """The event loop: a priority queue of (time, sequence, callback).
+
+    ``observer`` is a nullable instrumentation hook: when set to an
+    object with the :class:`repro.obs.hooks.EngineObserver` interface,
+    the engine reports process lifecycle transitions (scheduled /
+    resumed / finished) and stores report put / get / blocked.  The
+    attribute defaults to ``None`` and every call site is guarded, so an
+    untraced engine pays one ``is None`` test per event and nothing
+    else.  The engine never imports the observer types — anything with
+    the six methods qualifies.
+    """
 
     def __init__(self):
         self._now = 0.0
         self._queue: List[Tuple[float, int, Callable[[], None]]] = []
         self._sequence = itertools.count()
         self._active: int = 0  # number of unfinished processes
+        self.observer: Optional[Any] = None
 
     @property
     def now(self) -> float:
@@ -191,6 +202,8 @@ class Engine:
         """Register ``generator`` as a process starting at the current time."""
         process = Process(self, generator, name=name)
         self._active += 1
+        if self.observer is not None:
+            self.observer.process_scheduled(process)
         self._schedule_resume(process, None)
         return process
 
@@ -225,6 +238,8 @@ class Engine:
     def _resume(self, process: Process, value: Any) -> None:
         if process.finished:
             return
+        if self.observer is not None:
+            self.observer.process_resumed(process)
         try:
             if process._pending_interrupt is not None:
                 interrupt, process._pending_interrupt = process._pending_interrupt, None
@@ -244,6 +259,8 @@ class Engine:
         process.finished = True
         process.result = result
         self._active -= 1
+        if self.observer is not None:
+            self.observer.process_finished(process)
         joiners, process._joiners = process._joiners, []
         for joiner in joiners:
             self._schedule_resume(joiner, result)

@@ -60,6 +60,9 @@ class Store:
     def _put(self, process: "Process", item: Any) -> None:
         if self.full:
             self._blocked_putters.append((process, item))
+            observer = self.engine.observer
+            if observer is not None:
+                observer.store_blocked(self, process, "put")
             return
         self._enqueue(item)
         self.engine._schedule_resume(process, None)
@@ -68,9 +71,11 @@ class Store:
     def _get(self, process: "Process") -> None:
         if not self._items:
             self._blocked_getters.append(process)
+            observer = self.engine.observer
+            if observer is not None:
+                observer.store_blocked(self, process, "get")
             return
-        item = self._items.popleft()
-        self.total_got += 1
+        item = self._dequeue()
         self.engine._schedule_resume(process, item)
         self._admit_putters()
 
@@ -78,13 +83,22 @@ class Store:
         self._items.append(item)
         self.total_put += 1
         self.high_watermark = max(self.high_watermark, len(self._items))
+        observer = self.engine.observer
+        if observer is not None:
+            observer.store_put(self, item)
+
+    def _dequeue(self) -> Any:
+        item = self._items.popleft()
+        self.total_got += 1
+        observer = self.engine.observer
+        if observer is not None:
+            observer.store_get(self, item)
+        return item
 
     def _feed_getters(self) -> None:
         while self._blocked_getters and self._items:
             getter = self._blocked_getters.popleft()
-            item = self._items.popleft()
-            self.total_got += 1
-            self.engine._schedule_resume(getter, item)
+            self.engine._schedule_resume(getter, self._dequeue())
 
     def _admit_putters(self) -> None:
         while self._blocked_putters and not self.full:

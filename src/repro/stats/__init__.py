@@ -2,6 +2,7 @@
 
 from repro.stats.comparison import Comparison, compare, comparison_rows
 from repro.stats.loc import InstrumentationReport, count_instrumentation, integration_table
+from repro.stats.metrics_view import render_families, render_metrics, snapshot_rows
 from repro.stats.summary import Distribution, cdf_points, percentile
 from repro.stats.tables import format_series, format_table
 
@@ -17,4 +18,7 @@ __all__ = [
     "format_table",
     "integration_table",
     "percentile",
+    "render_families",
+    "render_metrics",
+    "snapshot_rows",
 ]

@@ -1,5 +1,7 @@
 """Unit tests for the command-line interface (repro.cli)."""
 
+import json
+
 import pytest
 
 from repro.cli import NF_CATALOGUE, build_chain, main
@@ -55,6 +57,48 @@ class TestDemoCommand:
         out = capsys.readouterr().out
         assert "fid=" in out
         assert "action  :" in out
+
+
+class TestObservabilityFlags:
+    def test_metrics_json_to_stdout(self, capsys):
+        assert main(["demo", "--flows", "4", "--chain", "nat,maglev,monitor",
+                     "--metrics-json", "-"]) == 0
+        out = capsys.readouterr().out
+        assert "fast_path_packets_total" in out
+        assert "slow_path_packets_total" in out
+        assert "ring_high_watermark" in out
+
+    def test_metrics_json_to_file(self, tmp_path, capsys):
+        path = tmp_path / "metrics.json"
+        assert main(["demo", "--flows", "4", "--metrics-json", str(path)]) == 0
+        snapshot = json.loads(path.read_text())
+        assert snapshot["load_runs_total{platform=bess}"] >= 1
+        assert any(key.startswith("path_packets_total") for key in snapshot)
+        assert str(path) in capsys.readouterr().out
+
+    def test_trace_out_writes_chrome_trace(self, tmp_path, capsys):
+        path = tmp_path / "trace.json"
+        assert main(["demo", "--flows", "4", "--trace-out", str(path)]) == 0
+        trace = json.loads(path.read_text())
+        events = trace["traceEvents"]
+        assert len(events) > 0
+        timestamps = [e["ts"] for e in events if e["ph"] != "M"]
+        assert timestamps == sorted(timestamps)
+        assert str(path) in capsys.readouterr().out
+
+    def test_sweep_supports_metrics_json(self, tmp_path, capsys):
+        path = tmp_path / "metrics.json"
+        assert main(["sweep", "--max-length", "2", "--flows", "3",
+                     "--metrics-json", str(path)]) == 0
+        # Sweep runs unloaded (no rings): latency histogram + path counters.
+        snapshot = json.loads(path.read_text())
+        assert snapshot["platform_packets_total{platform=bess}"] > 0
+        assert any(key.startswith("unloaded_latency_ns_bucket") for key in snapshot)
+
+    def test_no_flags_no_observability_output(self, capsys):
+        assert main(["demo", "--flows", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "fast_path_packets_total" not in out
 
 
 class TestEquivalenceCommand:
