@@ -251,6 +251,71 @@ def cmd_equivalence(args: argparse.Namespace) -> int:
     return 1 if mismatches else 0
 
 
+def cmd_scale(args: argparse.Namespace) -> int:
+    from repro.net.headers import TCP_FIN, TCPHeader
+    from repro.scale import ScaleCluster
+
+    packets = make_trace_packets(args.flows, args.seed)
+    metrics, tracer = make_observability(args)
+    platforms = [name.strip() for name in args.platforms.split(",") if name.strip()]
+    rows = []
+    for platform_name in platforms:
+        baseline_mpps = None
+        for count in range(1, args.replicas + 1):
+            cluster = ScaleCluster(
+                lambda: build_chain(args.chain),
+                platform=platform_name,
+                replicas=count,
+                speedybox=not args.no_speedybox,
+                physical_cores=args.physical_cores,
+                metrics=metrics,
+                tracer=tracer,
+            )
+            migrations = 0
+            if args.churn:
+                # Establish live flows (FINs withheld so they survive),
+                # then forcibly re-home --churn of them before the loaded
+                # window: the migration-churn ablation.
+                live = [
+                    packet
+                    for packet in packets
+                    if not (isinstance(packet.l4, TCPHeader)
+                            and packet.l4.has_flag(TCP_FIN))
+                ]
+                for packet in clone_packets(live[: len(live) // 2]):
+                    cluster.process(packet)
+                migrations = len(cluster.churn_flows(args.churn, seed=args.seed))
+            result = cluster.run_load(
+                clone_packets(packets), inter_arrival_ns=args.gap_ns
+            )
+            total = result.total
+            if baseline_mpps is None:
+                baseline_mpps = total.throughput_mpps
+            speedup = (
+                total.throughput_mpps / baseline_mpps if baseline_mpps else 0.0
+            )
+            rows.append(
+                [
+                    platform_name,
+                    count,
+                    total.offered,
+                    total.delivered,
+                    f"{total.throughput_mpps:.2f}",
+                    f"{total.latency_percentile(0.99) / 1000.0:.3f}",
+                    f"{speedup:.2f}x",
+                    migrations,
+                ]
+            )
+    print(format_table(
+        ["platform", "replicas", "offered", "delivered", "Mpps", "p99 us",
+         "vs 1 replica", "migrations"],
+        rows,
+        title=f"replica sweep over chain {args.chain}",
+    ))
+    emit_observability(args, metrics, tracer)
+    return 0
+
+
 def cmd_trace(args: argparse.Namespace) -> int:
     from repro.net.trace import load_trace, write_trace
 
@@ -333,6 +398,37 @@ def make_parser() -> argparse.ArgumentParser:
     equivalence.add_argument("--chain", default="nat,maglev,monitor,firewall")
     common(equivalence)
     equivalence.set_defaults(func=cmd_equivalence)
+
+    scale = sub.add_parser(
+        "scale", help="sharded replica sweep with optional migration churn"
+    )
+    scale.add_argument("--chain", default="nat,monitor,firewall")
+    scale.add_argument(
+        "--replicas", type=int, default=4, metavar="N",
+        help="sweep replica counts 1..N (default 4)",
+    )
+    scale.add_argument(
+        "--platforms", default="bess,onvm",
+        help="comma-separated platform models to sweep (default both)",
+    )
+    scale.add_argument(
+        "--churn", type=int, default=0, metavar="K",
+        help="forcibly migrate K live flows between replicas before the "
+             "loaded window (migration-churn ablation)",
+    )
+    scale.add_argument(
+        "--physical-cores", type=int, default=None, metavar="C",
+        help="shared core pool all replicas contend for (default: each "
+             "replica gets its own cores)",
+    )
+    scale.add_argument(
+        "--gap-ns", type=float, default=0.0,
+        help="inter-arrival gap of the offered load in ns (default 0)",
+    )
+    scale.add_argument("--no-speedybox", action="store_true")
+    common(scale)
+    observability(scale)
+    scale.set_defaults(func=cmd_scale)
 
     trace = sub.add_parser("trace", help="generate, inspect or convert .sbtr traces")
     trace.add_argument("--generate", metavar="PATH")

@@ -30,10 +30,15 @@ from repro.core.classifier import FID_BITS, PacketClassifier, fid_of
 from repro.core.consolidation import ConsolidatedAction, consolidate_header_actions
 from repro.core.event_table import Event, EventTable
 from repro.core.director import DirectedReport, ServiceDirector, SteeringRule
-from repro.core.framework import ServiceChain, SpeedyBox
+from repro.core.framework import FlowRecord, ServiceChain, SpeedyBox
 from repro.core.global_mat import GlobalMAT, GlobalRule
 from repro.core.inspector import describe_rule, dump_global_mat, lookup_flow_rule
-from repro.core.verification import VerificationReport, verify_equivalence
+from repro.core.verification import (
+    MigrationVerificationReport,
+    VerificationReport,
+    verify_equivalence,
+    verify_equivalence_migration,
+)
 from repro.core.local_mat import InstrumentationAPI, LocalMAT, LocalRule
 from repro.core.parallel import ParallelSchedule, batches_parallelizable, build_schedule
 from repro.core.state_function import PayloadClass, StateFunction, StateFunctionBatch
@@ -48,6 +53,7 @@ __all__ = [
     "EventTable",
     "FID_BITS",
     "FieldOp",
+    "FlowRecord",
     "Forward",
     "GlobalMAT",
     "GlobalRule",
@@ -56,6 +62,7 @@ __all__ = [
     "InstrumentationAPI",
     "LocalMAT",
     "LocalRule",
+    "MigrationVerificationReport",
     "Modify",
     "PacketClassifier",
     "ParallelSchedule",
@@ -75,4 +82,5 @@ __all__ = [
     "fid_of",
     "lookup_flow_rule",
     "verify_equivalence",
+    "verify_equivalence_migration",
 ]

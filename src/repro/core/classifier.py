@@ -180,3 +180,27 @@ class PacketClassifier:
         if removed:
             self._m_flows.set(len(self._flows))
         return removed
+
+    # -- migration support (repro.scale) -------------------------------------
+
+    def export_flow(self, fid: int) -> Optional[FlowEntry]:
+        """Detach and return the flow's connection state for migration."""
+        entry = self._flows.pop(fid, None)
+        if entry is not None:
+            self._m_flows.set(len(self._flows))
+        return entry
+
+    def import_flow(self, entry: FlowEntry) -> None:
+        """Adopt a migrated flow's connection state.
+
+        Raises if the FID is already owned by a *different* five-tuple on
+        this replica — that collision would silently corrupt both flows.
+        """
+        existing = self._flows.get(entry.fid)
+        if existing is not None and existing.five_tuple != entry.five_tuple:
+            raise ValueError(
+                f"FID {entry.fid} already tracks {existing.five_tuple}; "
+                f"cannot import {entry.five_tuple}"
+            )
+        self._flows[entry.fid] = entry
+        self._m_flows.set(len(self._flows))

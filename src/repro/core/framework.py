@@ -30,11 +30,11 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.actions import Decap, Drop, Encap, Forward, HeaderAction, Modify
-from repro.core.classifier import Classification, PacketClassifier
+from repro.core.classifier import Classification, FlowEntry, PacketClassifier
 from repro.core.consolidation import ConsolidatedAction
-from repro.core.event_table import EventTable
+from repro.core.event_table import Event, EventTable
 from repro.core.global_mat import GlobalMAT, GlobalRule
-from repro.core.local_mat import InstrumentationAPI, LocalMAT, NullInstrumentationAPI
+from repro.core.local_mat import InstrumentationAPI, LocalMAT, LocalRule, NullInstrumentationAPI
 from repro.net.packet import Packet
 from repro.nf.base import NetworkFunction
 from repro.obs.registry import MetricsRegistry, NULL_REGISTRY
@@ -77,6 +77,27 @@ class ProcessReport:
             for __, meter in wave:
                 total.merge(meter)
         return total
+
+
+@dataclass
+class FlowRecord:
+    """One flow's complete runtime state, detached for migration.
+
+    Everything SpeedyBox holds for the flow — classifier connection
+    state, per-NF Local MAT rules, the consolidated Global MAT rule, and
+    registered events — plus ``nf_state``: per-NF opaque snapshots
+    (:meth:`NetworkFunction.export_flow_state`) keyed by NF name.  The
+    record is produced by :meth:`SpeedyBox.export_flow` and consumed by
+    :meth:`SpeedyBox.import_flow`; ``repro.scale.FlowMigrator`` rebinds
+    the recorded handlers to the target replica's NFs in between.
+    """
+
+    fid: int
+    classifier_entry: Optional[FlowEntry] = None
+    local_rules: Dict[str, LocalRule] = field(default_factory=dict)
+    global_rule: Optional[GlobalRule] = None
+    events: List[Event] = field(default_factory=list)
+    nf_state: Dict[str, object] = field(default_factory=dict)
 
 
 def _check_unique_names(nfs: Sequence[NetworkFunction]) -> None:
@@ -444,6 +465,45 @@ class SpeedyBox:
             local_mat.delete_flow(fid)
         self.event_table.clear_flow(fid)
         self.classifier.remove_flow(fid)
+
+    # -- migration support (repro.scale) -------------------------------------
+
+    def export_flow(self, fid: int) -> Optional[FlowRecord]:
+        """Detach all runtime state of one flow as an atomic unit.
+
+        Returns ``None`` when the classifier knows nothing about the FID.
+        The tables are left with no trace of the flow; recorded handlers
+        in the returned record still reference *this* runtime's NFs — the
+        migrator must rebind them before :meth:`import_flow` on a target.
+        """
+        entry = self.classifier.export_flow(fid)
+        if entry is None:
+            return None
+        record = FlowRecord(fid=fid, classifier_entry=entry)
+        for name, local_mat in self.local_mats.items():
+            rule = local_mat.export_flow(fid)
+            if rule is not None:
+                record.local_rules[name] = rule
+        record.global_rule = self.global_mat.export_rule(fid)
+        record.events = self.event_table.export_flow(fid)
+        return record
+
+    def import_flow(self, record: FlowRecord) -> None:
+        """Install a migrated flow's runtime state into this runtime's tables.
+
+        Handlers must already be rebound to this runtime's NF instances;
+        NF-internal state (``record.nf_state``) is the migrator's job.
+        """
+        if record.classifier_entry is not None:
+            self.classifier.import_flow(record.classifier_entry)
+        for name, rule in record.local_rules.items():
+            local_mat = self.local_mats.get(name)
+            if local_mat is None:
+                raise KeyError(f"target chain has no NF named {name!r}")
+            local_mat.import_flow(rule)
+        if record.global_rule is not None:
+            self.global_mat.import_rule(record.global_rule)
+        self.event_table.import_flow(record.fid, record.events)
 
     def reset(self) -> None:
         """Fresh run: clear all tables and NF state."""

@@ -222,6 +222,27 @@ class GlobalMAT:
             self._m_occupancy.set(len(self._rules))
         return removed
 
+    # -- migration support (repro.scale) -------------------------------------
+
+    def export_rule(self, fid: int) -> Optional[GlobalRule]:
+        """Detach and return the flow's consolidated rule for migration.
+
+        Deliberately NOT an eviction: ``on_evict`` is not invoked, because
+        the flow's Local MAT records and events migrate alongside the rule
+        rather than being torn down.
+        """
+        rule = self._rules.pop(fid, None)
+        if rule is not None:
+            self._m_occupancy.set(len(self._rules))
+        return rule
+
+    def import_rule(self, rule: GlobalRule) -> None:
+        """Adopt a migrated rule (schedule batches already rebound)."""
+        self._rules[rule.fid] = rule
+        self._rules.move_to_end(rule.fid)
+        self._enforce_capacity(keep_fid=rule.fid)
+        self._m_occupancy.set(len(self._rules))
+
     def flows(self) -> Tuple[int, ...]:
         return tuple(self._rules)
 

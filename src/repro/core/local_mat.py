@@ -103,6 +103,16 @@ class LocalMAT:
         """FIN/RST cleanup: drop the rule and free its memory (§VI-B)."""
         return self._rules.pop(fid, None) is not None
 
+    # -- migration support (repro.scale) -------------------------------------
+
+    def export_flow(self, fid: int) -> Optional[LocalRule]:
+        """Detach and return the flow's rule for migration."""
+        return self._rules.pop(fid, None)
+
+    def import_flow(self, rule: LocalRule) -> None:
+        """Adopt a migrated flow's rule (handlers already rebound)."""
+        self._rules[rule.fid] = rule
+
     def flows(self) -> Tuple[int, ...]:
         return tuple(self._rules)
 

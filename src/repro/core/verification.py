@@ -16,11 +16,15 @@ Typical use, from an NF author's test suite::
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence
 
 from repro.core.framework import ServiceChain, SpeedyBox
+from repro.net.flow import FiveTuple
 from repro.net.packet import Packet
 from repro.nf.base import NetworkFunction
+
+if TYPE_CHECKING:  # pragma: no cover - avoids repro.scale import cycle at runtime
+    from repro.scale.migration import MigrationReport
 
 ChainFactory = Callable[[], Sequence[NetworkFunction]]
 Intervention = Callable[[ServiceChain, SpeedyBox], None]
@@ -117,4 +121,144 @@ def verify_equivalence(
     report.fast_packets = speedybox.fast_packets
     report.slow_packets = speedybox.slow_packets
     report.events_triggered = speedybox.event_table.total_triggered
+    return report
+
+
+@dataclass
+class MigrationVerificationReport(VerificationReport):
+    """Outcome of the migration variant of the equivalence methodology."""
+
+    migrated_flow: Optional[FiveTuple] = None
+    migration: Optional["MigrationReport"] = None
+    buffered_packets: int = 0
+
+    def summary(self) -> str:
+        lines = [super().summary()]
+        if self.migration is not None:
+            lines.append(
+                f"migration moved {self.migration.total_items()} state item(s) "
+                f"for {self.migrated_flow}; {self.buffered_packets} packet(s) "
+                f"buffered during the freeze"
+            )
+        return "\n".join(lines)
+
+
+def verify_equivalence_migration(
+    chain_factory: ChainFactory,
+    packets: Sequence[Packet],
+    migrate_at: int,
+    freeze_for: int = 0,
+    flow: Optional[FiveTuple] = None,
+    speedybox_kwargs: Optional[dict] = None,
+    platform: str = "bess",
+) -> MigrationVerificationReport:
+    """§VII-C equivalence across a mid-life flow migration.
+
+    Runs the same packets through a single SpeedyBox runtime (reference)
+    and through a :class:`~repro.scale.cluster.ScaleCluster` that starts
+    with one replica and, just before packet ``migrate_at``, adds an
+    *empty* replica (no sharder buckets) and migrates ``flow`` onto it —
+    so any divergence is attributable to the migration itself, not to
+    resharding.  The flow stays frozen for ``freeze_for`` further packets
+    to exercise the buffer-and-replay path; buffered packets are replayed
+    on the target replica and still compared byte-for-byte.
+
+    ``flow`` defaults to the five-tuple of ``packets[migrate_at]``.
+    Besides drop decisions and wire bytes, the report diffs per-flow NF
+    state snapshots (NAT mappings, LB conntrack, IDS flowbits, monitor
+    counters, ...) and the runtime counters (fast/slow path totals and
+    events triggered) — migration must be invisible to all of them.
+    """
+    # Imported lazily: repro.scale imports repro.core at module load.
+    from repro.scale.cluster import ScaleCluster
+    from repro.scale.migration import chain_state_snapshot
+
+    if not 0 <= migrate_at < len(packets):
+        raise ValueError(
+            f"migrate_at must index into the packet stream, got {migrate_at!r}"
+        )
+    flow = flow or packets[migrate_at].five_tuple()
+    reference = SpeedyBox(chain_factory(), **(speedybox_kwargs or {}))
+    cluster = ScaleCluster(
+        chain_factory,
+        platform=platform,
+        replicas=1,
+        speedybox=True,
+        speedybox_kwargs=speedybox_kwargs,
+    )
+
+    ref_stream = [packet.clone() for packet in packets]
+    cluster_stream = [packet.clone() for packet in packets]
+    for packet in ref_stream:
+        reference.process(packet)
+
+    report = MigrationVerificationReport(packets=len(packets), migrated_flow=flow)
+    freeze_until = min(migrate_at + max(0, freeze_for), len(packets) - 1)
+    dst_rid: Optional[int] = None
+    for index, packet in enumerate(cluster_stream):
+        if index == migrate_at:
+            dst_rid = cluster.scale_out(rebalance=False)
+            cluster.begin_migration(flow)
+        outcome = cluster.process(packet)
+        if outcome is None:
+            report.buffered_packets += 1
+        if index == freeze_until and dst_rid is not None:
+            report.migration, __ = cluster.complete_migration(flow, dst_rid)
+
+    for index, (ref_pkt, cl_pkt) in enumerate(zip(ref_stream, cluster_stream)):
+        if ref_pkt.dropped != cl_pkt.dropped:
+            report.divergences.append(
+                Divergence(
+                    index,
+                    "drop",
+                    f"reference={'dropped' if ref_pkt.dropped else 'forwarded'}, "
+                    f"cluster={'dropped' if cl_pkt.dropped else 'forwarded'}",
+                )
+            )
+        elif not ref_pkt.dropped and ref_pkt.serialize() != cl_pkt.serialize():
+            report.divergences.append(
+                Divergence(index, "bytes", f"{ref_pkt!r} vs {cl_pkt!r}")
+            )
+
+    # Per-flow NF state must match between the reference chain and
+    # whichever replica now homes each flow.
+    for key, home in sorted(cluster.flow_homes().items()):
+        ref_state = chain_state_snapshot(reference.nfs, key)
+        cluster_state = chain_state_snapshot(cluster.replica(home).runtime.nfs, key)
+        if ref_state != cluster_state:
+            report.divergences.append(
+                Divergence(
+                    -1,
+                    "state",
+                    f"flow {key} on replica {home}: "
+                    f"reference={ref_state!r} vs cluster={cluster_state!r}",
+                )
+            )
+
+    # Runtime counters: a complete migration leaves the fast path intact
+    # on the target, so the cluster-wide totals must equal the reference.
+    runtimes = [cluster.replica(rid).runtime for rid in sorted(cluster.replicas)]
+    totals = {
+        "fast_packets": sum(runtime.fast_packets for runtime in runtimes),
+        "slow_packets": sum(runtime.slow_packets for runtime in runtimes),
+        "events_triggered": sum(
+            runtime.event_table.total_triggered for runtime in runtimes
+        ),
+    }
+    expected = {
+        "fast_packets": reference.fast_packets,
+        "slow_packets": reference.slow_packets,
+        "events_triggered": reference.event_table.total_triggered,
+    }
+    for name, want in expected.items():
+        if totals[name] != want:
+            report.divergences.append(
+                Divergence(
+                    -1, "counters", f"{name}: reference={want} vs cluster={totals[name]}"
+                )
+            )
+
+    report.fast_packets = totals["fast_packets"]
+    report.slow_packets = totals["slow_packets"]
+    report.events_triggered = totals["events_triggered"]
     return report

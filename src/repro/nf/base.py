@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.core.local_mat import InstrumentationAPI
+from repro.net.flow import FiveTuple
 from repro.net.packet import Packet
 from repro.platform.costs import CycleMeter, NULL_METER, Operation
 
@@ -57,6 +58,40 @@ class NetworkFunction:
 
     def handle_flow_close(self, packet: Packet) -> None:
         """Hook: called when the classifier sees the flow's FIN/RST."""
+        return None
+
+    # -- migration hooks (repro.scale) ---------------------------------------
+    #
+    # NFs key per-flow state by the five-tuple they observe at their chain
+    # position — i.e. after every upstream rewrite.  ``flow_through`` lets
+    # the migrator walk a flow down the chain deriving each NF's observed
+    # key without re-deriving header-action algebra; the export/import
+    # pair moves the state itself; ``state_snapshot`` gives the
+    # equivalence oracle a comparable read-only view.
+
+    def flow_through(self, flow: FiveTuple) -> FiveTuple:
+        """Read-only: the five-tuple as this NF's rewrites emit it.
+
+        Must not allocate state — a plain lookup of existing mappings.
+        Stateless/non-rewriting NFs pass the tuple through unchanged.
+        """
+        return flow
+
+    def export_flow_state(self, flow: FiveTuple) -> Optional[object]:
+        """Detach and return this NF's per-flow state for migration.
+
+        ``flow`` is the five-tuple observed at this NF's position.  Both
+        directions of a flow may be exported; an export that finds the
+        state already detached returns ``None`` (as do stateless NFs).
+        """
+        return None
+
+    def import_flow_state(self, flow: FiveTuple, state: object) -> None:
+        """Adopt per-flow state exported by a same-type NF elsewhere."""
+        return None
+
+    def state_snapshot(self, flow: FiveTuple) -> Optional[object]:
+        """A comparable, side-effect-free view of the flow's state."""
         return None
 
     def reset(self) -> None:

@@ -162,6 +162,17 @@ class IPFilter(NetworkFunction):
     def handle_flow_close(self, packet: Packet) -> None:
         self._verdict_cache.pop(packet.five_tuple(), None)
 
+    # -- migration hooks (repro.scale) ---------------------------------------
+
+    def export_flow_state(self, flow: FiveTuple):
+        return self._verdict_cache.pop(flow, None)
+
+    def import_flow_state(self, flow: FiveTuple, state) -> None:
+        self._verdict_cache[flow] = state
+
+    def state_snapshot(self, flow: FiveTuple):
+        return self._verdict_cache.get(flow)
+
     def reset(self) -> None:
         super().reset()
         self._verdict_cache.clear()

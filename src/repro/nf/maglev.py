@@ -265,6 +265,29 @@ class MaglevLoadBalancer(NetworkFunction):
     def handle_flow_close(self, packet: Packet) -> None:
         self.conntrack.pop(packet.five_tuple(), None)
 
+    # -- migration hooks (repro.scale) ---------------------------------------
+
+    def flow_through(self, flow: FiveTuple) -> FiveTuple:
+        backend = self.conntrack.get(flow)
+        if backend is not None:
+            return flow._replace(dst_ip=backend.ip, dst_port=backend.port)
+        return flow
+
+    def export_flow_state(self, flow: FiveTuple):
+        backend = self.conntrack.pop(flow, None)
+        if backend is None:
+            return None
+        # Transfer by *name*: the target replica tracks its own Backend
+        # objects (with their own health state), never ours.
+        return backend.name
+
+    def import_flow_state(self, flow: FiveTuple, state) -> None:
+        self.conntrack[flow] = self.backend_by_name(state)
+
+    def state_snapshot(self, flow: FiveTuple):
+        backend = self.conntrack.get(flow)
+        return None if backend is None else (backend.name, backend.healthy)
+
     def reset(self) -> None:
         super().reset()
         self.conntrack.clear()

@@ -64,15 +64,23 @@ class MazuNAT(NetworkFunction):
         return (address & mask) == (self._internal_base & mask)
 
     def allocate_port(self) -> int:
-        if self._free_ports:
-            return self._free_ports.pop()
-        if self._next_port > self.port_hi:
-            raise NatPortExhausted(
-                f"{self.name}: external port pool {self.port_lo}-{self.port_hi} exhausted"
-            )
-        port = self._next_port
-        self._next_port += 1
-        return port
+        # Ports held by *imported* mappings were never handed out by this
+        # allocator, so both sources must skip anything already in the
+        # reverse table — without the guard a migrated-in flow's external
+        # port could be double-allocated.
+        in_use = {port for __, port, __ in self.reverse}
+        while self._free_ports:
+            port = self._free_ports.pop()
+            if port not in in_use:
+                return port
+        while self._next_port <= self.port_hi:
+            port = self._next_port
+            self._next_port += 1
+            if port not in in_use:
+                return port
+        raise NatPortExhausted(
+            f"{self.name}: external port pool {self.port_lo}-{self.port_hi} exhausted"
+        )
 
     def release_mapping(self, flow: FiveTuple) -> bool:
         mapping = self.mappings.pop(flow, None)
@@ -134,6 +142,46 @@ class MazuNAT(NetworkFunction):
             internal = self.reverse.get((flow.src_ip, flow.src_port, flow.protocol))
             if internal is not None:
                 self.release_mapping(internal)
+
+    # -- migration hooks (repro.scale) ---------------------------------------
+
+    def flow_through(self, flow: FiveTuple) -> FiveTuple:
+        mapping = self.mappings.get(flow)
+        if mapping is not None:
+            ext_ip, ext_port = mapping
+            return flow._replace(src_ip=ext_ip, src_port=ext_port)
+        internal = self.reverse.get((flow.dst_ip, flow.dst_port, flow.protocol))
+        if internal is not None:
+            return flow._replace(dst_ip=internal.src_ip, dst_port=internal.src_port)
+        return flow
+
+    def _mapping_key(self, flow: FiveTuple) -> Optional[FiveTuple]:
+        """The internal (outbound) tuple owning the flow's mapping, if any."""
+        if flow in self.mappings:
+            return flow
+        return self.reverse.get((flow.dst_ip, flow.dst_port, flow.protocol))
+
+    def export_flow_state(self, flow: FiveTuple):
+        internal = self._mapping_key(flow)
+        if internal is None:
+            return None
+        ext_ip, ext_port = self.mappings.pop(internal)
+        self.reverse.pop((ext_ip, ext_port, internal.protocol), None)
+        # The port does NOT return to the free list: the mapping still
+        # owns it, just on another replica now.
+        return (internal, ext_ip, ext_port)
+
+    def import_flow_state(self, flow: FiveTuple, state) -> None:
+        internal, ext_ip, ext_port = state
+        self.mappings[internal] = (ext_ip, ext_port)
+        self.reverse[(ext_ip, ext_port, internal.protocol)] = internal
+        self._free_ports.discard(ext_port)
+
+    def state_snapshot(self, flow: FiveTuple):
+        internal = self._mapping_key(flow)
+        if internal is None:
+            return None
+        return (internal, self.mappings[internal])
 
     def reset(self) -> None:
         super().reset()

@@ -79,6 +79,24 @@ class Monitor(NetworkFunction):
         """Counters for a flow (zeros if never seen)."""
         return self.counters.get(key, FlowCounters())
 
+    # -- migration hooks (repro.scale) ---------------------------------------
+
+    def export_flow_state(self, flow: FiveTuple):
+        counters = self.counters.pop(flow, None)
+        if counters is None:
+            return None
+        return (counters.packets, counters.bytes)
+
+    def import_flow_state(self, flow: FiveTuple, state) -> None:
+        packets, bytes_ = state
+        counters = self.counters.setdefault(flow, FlowCounters())
+        counters.packets += packets
+        counters.bytes += bytes_
+
+    def state_snapshot(self, flow: FiveTuple):
+        counters = self.counters.get(flow)
+        return None if counters is None else (counters.packets, counters.bytes)
+
     def total_packets(self) -> int:
         return sum(counter.packets for counter in self.counters.values())
 

@@ -112,6 +112,32 @@ class SnortIDS(NetworkFunction):
     def handle_flow_close(self, packet: Packet) -> None:
         self.flow_matchers.pop(packet.five_tuple(), None)
 
+    # -- migration hooks (repro.scale) ---------------------------------------
+
+    def export_flow_state(self, flow: FiveTuple):
+        matcher = self.flow_matchers.pop(flow, None)
+        if matcher is None:
+            return None
+        # Only the flowbits are mutable per-flow state; the candidate set
+        # is a pure function of the (identical) rule config, so the
+        # target re-assigns its own matcher rather than adopting one
+        # wired to our engine.
+        return set(matcher.flowbits)
+
+    def import_flow_state(self, flow: FiveTuple, state) -> None:
+        matcher = self.engine.assign_flow_matcher(flow)
+        matcher.flowbits = set(state)
+        self.flow_matchers[flow] = matcher
+
+    def state_snapshot(self, flow: FiveTuple):
+        matcher = self.flow_matchers.get(flow)
+        if matcher is None:
+            return None
+        return (
+            tuple(rule.sid for rule in matcher.candidates),
+            frozenset(matcher.flowbits),
+        )
+
     def reset(self) -> None:
         super().reset()
         self.flow_matchers.clear()

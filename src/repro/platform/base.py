@@ -21,7 +21,7 @@ Subclasses define the transport costs and the stage topology.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.framework import PathTaken, ProcessReport, ServiceChain, SpeedyBox
 from repro.net.packet import Packet
@@ -30,7 +30,7 @@ from repro.obs.registry import MetricsRegistry, NULL_REGISTRY
 from repro.obs.timeline import trace_unloaded
 from repro.obs.trace import NULL_TRACER, PacketTracer
 from repro.platform.costs import CostModel, CycleMeter, Operation
-from repro.sim import Engine, Get, Put, Store, Timeout
+from repro.sim import Engine, Get, Put, Request, Resource, Store, Timeout
 from repro.stats.summary import percentile
 
 
@@ -113,6 +113,33 @@ class LoadResult:
             return 0.0
         return percentile(self.latencies_ns, fraction)
 
+    def merge(self, other: "LoadResult") -> "LoadResult":
+        """Combine two runs as if their packets shared one run.
+
+        Packet counts add; latency *samples* concatenate, so percentiles
+        of the merged result are computed over the raw population — not
+        averaged from the parts' pre-computed percentiles, which would
+        be statistically wrong (the p99 of two replicas is not the mean
+        of their p99s).  The makespan is the later finish line: the runs
+        are taken to start at the same instant, which is exactly how a
+        multi-replica cluster drives its replicas.
+        """
+        return LoadResult(
+            offered=self.offered + other.offered,
+            delivered=self.delivered + other.delivered,
+            dropped=self.dropped + other.dropped,
+            makespan_ns=max(self.makespan_ns, other.makespan_ns),
+            latencies_ns=self.latencies_ns + other.latencies_ns,
+        )
+
+    @classmethod
+    def merged(cls, results: Sequence["LoadResult"]) -> "LoadResult":
+        """Fold :meth:`merge` over any number of per-replica results."""
+        total = cls(offered=0, delivered=0, dropped=0, makespan_ns=0.0, latencies_ns=[])
+        for result in results:
+            total = total.merge(result)
+        return total
+
 
 #: A packet's temporal footprint: per-hop (stage_index, service_ns).
 #: ``stage_index=None`` marks a pure delay with unbounded parallelism —
@@ -139,6 +166,32 @@ def makespan_with_workers(durations: Sequence[float], workers: int) -> float:
 
 
 @dataclass
+class PipelineRun:
+    """The live plumbing of one platform's pipeline on a (shared) engine.
+
+    ``run_load`` spawns exactly one of these on a private engine; a
+    multi-replica cluster (``repro.scale``) spawns one per replica on a
+    *shared* engine so the replicas' pipelines advance on the same
+    simulated clock and can contend for a common core pool.
+    """
+
+    rings: List[Store]
+    arrival_at: Dict[int, float]
+    completions: List[Tuple[int, float]]
+
+    def to_load_result(self, offered: int, dropped: int) -> LoadResult:
+        latencies = [finish - self.arrival_at[index] for index, finish in self.completions]
+        makespan = max((finish for __, finish in self.completions), default=0.0)
+        return LoadResult(
+            offered=offered,
+            delivered=offered - dropped,
+            dropped=dropped,
+            makespan_ns=makespan,
+            latencies_ns=latencies,
+        )
+
+
+@dataclass
 class ChainSetup:
     """Descriptor for constructing a platform run (used by benchmarks)."""
 
@@ -161,12 +214,16 @@ class Platform:
         config: Optional[PlatformConfig] = None,
         metrics: MetricsRegistry = NULL_REGISTRY,
         tracer: PacketTracer = NULL_TRACER,
+        label: Optional[str] = None,
     ):
         self.runtime = runtime
         self.config = config or PlatformConfig()
         self.packets = 0
         self.metrics = metrics
         self.tracer = tracer
+        #: instance label used for ring/track names; replicas of the same
+        #: platform class override it so their metrics stay distinguishable
+        self.label = label or self.name
         #: monotonic unloaded-mode timeline cursor (ns) for the tracer
         self._trace_clock_ns = 0.0
         self._m_packets = metrics.counter(
@@ -306,6 +363,26 @@ class Platform:
         ``timestamp_ns`` offsets instead (trace replay; timestamps must
         be non-decreasing).
         """
+        plans, gaps, dropped = self._functional_pass(packets, inter_arrival_ns, use_timestamps)
+        engine = Engine()
+        self._attach_observer(engine)
+        run = self._spawn_pipeline(engine, plans, gaps)
+        engine.run()
+        self._publish_load_metrics(run.rings)
+        return run.to_load_result(offered=len(plans), dropped=dropped)
+
+    def _functional_pass(
+        self,
+        packets: Sequence[Packet],
+        inter_arrival_ns: float,
+        use_timestamps: bool,
+    ) -> Tuple[List[StagePlan], List[float], int]:
+        """Phase one of a loaded run: process functionally, plan temporally.
+
+        Returns (stage plans, per-packet arrival gaps, drop count); the
+        gap of packet ``i`` is the Timeout its source takes before
+        offering it, so ``gaps[0]`` is the delay to the first arrival.
+        """
         plans: List[StagePlan] = []
         gaps: List[float] = []
         dropped = 0
@@ -316,24 +393,42 @@ class Platform:
                     raise ValueError("trace timestamps must be non-decreasing for replay")
                 gaps.append(0.0 if previous_ts is None else packet.timestamp_ns - previous_ts)
                 previous_ts = packet.timestamp_ns
+            else:
+                gaps.append(inter_arrival_ns if plans else 0.0)
             outcome = self.process(packet)
             plans.append(self._stage_plan(outcome.report))
             if outcome.dropped:
                 dropped += 1
+        return plans, gaps, dropped
 
-        engine = Engine()
-        self._attach_observer(engine)
+    def _spawn_pipeline(
+        self,
+        engine: Engine,
+        plans: Sequence[StagePlan],
+        gaps: Sequence[float],
+        core_pool: Optional[Resource] = None,
+    ) -> PipelineRun:
+        """Register this platform's stage pipeline on ``engine``.
+
+        ``gaps[i]`` is the source's Timeout before offering packet ``i``.
+        ``core_pool`` (optional) is a shared :class:`Resource` every stage
+        worker must hold while serving a packet — how a replica cluster
+        models oversubscribed physical cores.  Pure-delay hops (offloaded
+        SF waves) stay outside the pool, mirroring single-platform runs
+        where worker cores are modelled as a free-running pool.
+        """
         stage_count = self._stage_count()
+        label = self.label
         rings = [
             Store(
                 engine,
                 capacity=self.config.ring_capacity,
-                name=f"{self.name}:{self._stage_label(i)}",
+                name=f"{label}:{self._stage_label(i)}",
             )
             for i in range(stage_count)
         ]
-        done = Store(engine, name=f"{self.name}:done")
-        arrival_at: dict = {}
+        done = Store(engine, name=f"{label}:done")
+        arrival_at: Dict[int, float] = {}
         completions: List[Tuple[int, float]] = []
         tracing = self.tracer.enabled
 
@@ -345,7 +440,7 @@ class Platform:
             if tracing:
                 self.tracer.span(
                     f"pkt{packet_index}",
-                    f"{self.name}:offload",
+                    f"{label}:offload",
                     started,
                     engine.now - started,
                     hop=hop,
@@ -364,11 +459,8 @@ class Platform:
 
         def source():
             for index, plan in enumerate(plans):
-                if use_timestamps:
-                    if gaps[index] > 0:
-                        yield Timeout(gaps[index])
-                elif inter_arrival_ns > 0 and index:
-                    yield Timeout(inter_arrival_ns)
+                if gaps[index] > 0:
+                    yield Timeout(gaps[index])
                 arrival_at[index] = engine.now
                 first_stage = plan[0][0] if plan else stage_count - 1
                 if first_stage is None:
@@ -377,15 +469,19 @@ class Platform:
                     yield Put(rings[first_stage], (index, 0, plan))
 
         def stage_worker(stage_index: int):
-            track = f"{self.name}:{self._stage_label(stage_index)}"
+            track = f"{label}:{self._stage_label(stage_index)}"
             while True:
                 item = yield Get(rings[stage_index])
                 if item is None:
                     return
                 packet_index, hop, plan = item
                 __, service_ns = plan[hop]
+                if core_pool is not None:
+                    yield Request(core_pool)
                 started = engine.now
                 yield Timeout(service_ns)
+                if core_pool is not None:
+                    yield core_pool.release()
                 if tracing:
                     self.tracer.span(
                         f"pkt{packet_index}", track, started, engine.now - started, hop=hop
@@ -399,22 +495,11 @@ class Platform:
             for ring in rings:
                 yield Put(ring, None)  # poison pills
 
-        engine.add_process(source(), name="source")
+        engine.add_process(source(), name=f"{label}:source")
         for stage_index in range(stage_count):
-            engine.add_process(stage_worker(stage_index), name=f"stage{stage_index}")
-        engine.add_process(sink(), name="sink")
-        engine.run()
-        self._publish_load_metrics(rings)
-
-        latencies = [finished_at - arrival_at[index] for index, finished_at in completions]
-        makespan = max(t for __, t in completions) if completions else 0.0
-        return LoadResult(
-            offered=len(plans),
-            delivered=len(plans) - dropped,
-            dropped=dropped,
-            makespan_ns=makespan,
-            latencies_ns=latencies,
-        )
+            engine.add_process(stage_worker(stage_index), name=f"{label}:stage{stage_index}")
+        engine.add_process(sink(), name=f"{label}:sink")
+        return PipelineRun(rings=rings, arrival_at=arrival_at, completions=completions)
 
     # -- loaded-mode observability --------------------------------------------
 

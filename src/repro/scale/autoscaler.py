@@ -1,0 +1,141 @@
+"""The load-driven autoscaler: watermarks over observability signals.
+
+Classic control loop: after each observation window (one loaded run),
+compare the window's :class:`~repro.obs.signals.SignalSample` against
+high/low watermarks.  Any signal above its high watermark triggers
+scale-out (add a replica, repartition the indirection table, migrate the
+moved buckets' flows); *all* signals below their low watermarks triggers
+scale-in.  A cooldown of quiet windows between actions damps oscillation
+— the flap-avoidance every production autoscaler needs.
+
+Scaling actions reuse the cluster's migration protocol, so elasticity
+inherits its correctness: no packet loss, no state left behind.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.net.packet import Packet
+from repro.obs.signals import ClusterSignals, SignalSample
+from repro.platform.base import PlatformConfig
+from repro.scale.cluster import ClusterLoadResult, ScaleCluster
+
+
+@dataclass
+class AutoscalerConfig:
+    """Watermarks and bounds for the control loop."""
+
+    min_replicas: int = 1
+    max_replicas: int = 8
+    #: scale out when ring high-water exceeds this fraction of capacity
+    high_ring_occupancy: float = 0.5
+    low_ring_occupancy: float = 0.1
+    #: scale out when offered service time / core-time exceeds this
+    high_core_utilisation: float = 0.85
+    low_core_utilisation: float = 0.35
+    #: optional latency SLO (ns); None disables the latency trigger
+    high_p99_ns: Optional[float] = None
+    #: quiet windows required between two scaling actions
+    cooldown_windows: int = 1
+
+    def __post_init__(self):
+        if not 1 <= self.min_replicas <= self.max_replicas:
+            raise ValueError(
+                f"need 1 <= min_replicas <= max_replicas, got "
+                f"{self.min_replicas}..{self.max_replicas}"
+            )
+
+
+@dataclass
+class ScaleDecision:
+    """What one observation window concluded."""
+
+    action: int  # +1 scale out, -1 scale in, 0 hold
+    reason: str
+    sample: SignalSample
+    replicas_after: int = 0
+
+    @property
+    def scaled(self) -> bool:
+        return self.action != 0
+
+
+class Autoscaler:
+    """Drives a :class:`ScaleCluster` from watermark comparisons."""
+
+    def __init__(
+        self,
+        cluster: ScaleCluster,
+        config: Optional[AutoscalerConfig] = None,
+        signals: Optional[ClusterSignals] = None,
+    ):
+        self.cluster = cluster
+        self.config = config or AutoscalerConfig()
+        ring_capacity = (cluster.config or PlatformConfig()).ring_capacity
+        self.signals = signals or ClusterSignals(cluster.metrics, ring_capacity)
+        self.decisions: List[ScaleDecision] = []
+        self._windows_since_action = self.config.cooldown_windows
+
+    # -- pure decision logic --------------------------------------------------
+
+    def evaluate(self, sample: SignalSample) -> ScaleDecision:
+        """Watermark comparison only — no side effects."""
+        cfg = self.config
+        replicas = self.cluster.replica_count
+        pressures = []
+        if sample.ring_occupancy >= cfg.high_ring_occupancy:
+            pressures.append(f"ring occupancy {sample.ring_occupancy:.0%}")
+        if sample.core_utilisation >= cfg.high_core_utilisation:
+            pressures.append(f"core utilisation {sample.core_utilisation:.0%}")
+        if cfg.high_p99_ns is not None and sample.p99_latency_ns >= cfg.high_p99_ns:
+            pressures.append(f"p99 {sample.p99_latency_ns / 1000.0:.1f}us over SLO")
+
+        if self._windows_since_action < cfg.cooldown_windows:
+            return ScaleDecision(0, "cooldown", sample, replicas)
+        if pressures and replicas < cfg.max_replicas:
+            return ScaleDecision(+1, " + ".join(pressures), sample, replicas + 1)
+        if pressures:
+            return ScaleDecision(0, f"at max_replicas: {' + '.join(pressures)}", sample, replicas)
+        idle = (
+            sample.ring_occupancy <= cfg.low_ring_occupancy
+            and sample.core_utilisation <= cfg.low_core_utilisation
+        )
+        if idle and replicas > cfg.min_replicas:
+            return ScaleDecision(-1, "all signals below low watermarks", sample, replicas - 1)
+        return ScaleDecision(0, "steady", sample, replicas)
+
+    # -- the control loop -----------------------------------------------------
+
+    def observe(self, result: ClusterLoadResult) -> SignalSample:
+        """Fold one loaded-run window into a signal sample."""
+        cluster = self.cluster
+        config = cluster.config or PlatformConfig()
+        return self.signals.sample(
+            makespan_ns=result.total.makespan_ns,
+            p99_latency_ns=result.total.latency_percentile(0.99),
+            throughput_mpps=result.total.throughput_mpps,
+            busy_ns=result.busy_ns,
+            cores_per_replica=float(config.worker_cores),
+            physical_cores=cluster.physical_cores,
+        )
+
+    def step(
+        self, packets: Sequence[Packet], inter_arrival_ns: float = 0.0
+    ) -> ScaleDecision:
+        """Run one window, decide, and apply the decision to the cluster."""
+        result = self.cluster.run_load(packets, inter_arrival_ns=inter_arrival_ns)
+        sample = self.observe(result)
+        decision = self.evaluate(sample)
+        if decision.action > 0:
+            self.cluster.scale_out()
+            self._windows_since_action = 0
+        elif decision.action < 0:
+            self.cluster.scale_in()
+            self._windows_since_action = 0
+        else:
+            self._windows_since_action += 1
+        decision.replicas_after = self.cluster.replica_count
+        self.decisions.append(decision)
+        return decision

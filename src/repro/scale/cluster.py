@@ -1,0 +1,427 @@
+"""Replica manager: N chain copies behind one sharder, on one sim engine.
+
+:class:`ScaleCluster` instantiates N independent ``SpeedyBox`` (or
+baseline ``ServiceChain``) + ``Platform`` copies from one chain factory,
+shards flows across them with :class:`~repro.scale.sharder.FlowSharder`,
+and drives every replica's pipeline on a *shared* discrete-event engine
+so they advance on the same simulated clock — and, when
+``physical_cores`` is set, contend for a common core pool instead of
+each enjoying its own private machine.
+
+It also owns the migration choreography (the part the
+:class:`~repro.scale.migration.FlowMigrator` deliberately does not):
+
+1. ``begin_migration(flow)`` freezes the flow at the sharder — packets
+   of either direction arriving while frozen are *buffered*, never
+   dropped and never processed by the wrong replica;
+2. ``complete_migration(flow, dst)`` drains (there are no in-flight
+   packets outside the buffer in this single-threaded model), transfers
+   the flow's whole state as one unit, pins the flow to its new home,
+   and replays the buffered packets there in arrival order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.framework import ServiceChain, SpeedyBox
+from repro.net.flow import FiveTuple
+from repro.net.packet import Packet
+from repro.nf.base import NetworkFunction
+from repro.obs.registry import MetricsRegistry, NULL_REGISTRY
+from repro.obs.trace import NULL_TRACER, PacketTracer
+from repro.platform import BessPlatform, OpenNetVMPlatform
+from repro.platform.base import LoadResult, PacketOutcome, Platform, PlatformConfig
+from repro.scale.migration import (
+    FlowMigrator,
+    MigrationError,
+    MigrationReport,
+    wire_directions,
+)
+from repro.scale.sharder import FlowSharder
+from repro.sim import Engine, Resource
+
+PLATFORM_CLASSES = {"bess": BessPlatform, "onvm": OpenNetVMPlatform}
+
+ChainFactory = Callable[[], Sequence[NetworkFunction]]
+
+
+@dataclass
+class ChainReplica:
+    """One chain copy: its id, its platform, and the runtime inside it."""
+
+    replica_id: int
+    platform: Platform
+
+    @property
+    def runtime(self) -> Union[ServiceChain, SpeedyBox]:
+        return self.platform.runtime
+
+    @property
+    def label(self) -> str:
+        return self.platform.label
+
+
+@dataclass
+class ClusterLoadResult:
+    """Aggregate + per-replica results of one loaded cluster run."""
+
+    total: LoadResult
+    per_replica: Dict[int, LoadResult]
+    #: total requested service time per replica (ns) — the autoscaler's
+    #: core-demand signal, summed from the replayed stage plans
+    busy_ns: Dict[int, float] = field(default_factory=dict)
+
+
+class ScaleCluster:
+    """N sharded chain replicas with migration and elastic repartitioning."""
+
+    def __init__(
+        self,
+        chain_factory: ChainFactory,
+        platform: str = "bess",
+        replicas: int = 1,
+        speedybox: bool = True,
+        speedybox_kwargs: Optional[dict] = None,
+        config: Optional[PlatformConfig] = None,
+        physical_cores: Optional[int] = None,
+        buckets: int = 64,
+        metrics: MetricsRegistry = NULL_REGISTRY,
+        tracer: PacketTracer = NULL_TRACER,
+    ):
+        if platform not in PLATFORM_CLASSES:
+            raise ValueError(f"unknown platform {platform!r} (bess|onvm)")
+        if replicas <= 0:
+            raise ValueError(f"cluster needs at least one replica, got {replicas!r}")
+        self.chain_factory = chain_factory
+        self.platform_name = platform
+        self.speedybox = speedybox
+        self.speedybox_kwargs = dict(speedybox_kwargs or {})
+        self.config = config
+        self.physical_cores = physical_cores
+        self.metrics = metrics
+        self.tracer = tracer
+        self.replicas: Dict[int, ChainReplica] = {}
+        self._next_id = 0
+        for __ in range(replicas):
+            self._spawn_replica()
+        self.sharder = FlowSharder(
+            {rid: 1.0 for rid in self.replicas}, buckets=buckets
+        )
+        self.migrator = FlowMigrator(metrics=metrics, tracer=tracer)
+        #: canonical five-tuple -> buffered packets (flow is mid-migration);
+        #: all wire directions of one frozen flow share one buffer list
+        self._frozen: Dict[FiveTuple, List[Packet]] = {}
+        #: frozen flow's primary key -> every canonical key in its group
+        self._freeze_groups: Dict[FiveTuple, List[FiveTuple]] = {}
+        #: canonical five-tuple -> replica currently holding its state
+        self._flow_homes: Dict[FiveTuple, int] = {}
+        self.packets_buffered = 0
+        self._m_replicas = metrics.gauge(
+            "cluster_replicas", "chain replicas currently running"
+        )
+        self._m_buffered = metrics.counter(
+            "migration_buffered_packets_total", "packets buffered during flow freezes"
+        )
+        self._m_replicas.set(len(self.replicas))
+
+    # -- replica lifecycle ----------------------------------------------------
+
+    def _spawn_replica(self) -> int:
+        rid = self._next_id
+        self._next_id += 1
+        nfs = list(self.chain_factory())
+        runtime: Union[ServiceChain, SpeedyBox]
+        if self.speedybox:
+            runtime = SpeedyBox(nfs, metrics=self.metrics, **self.speedybox_kwargs)
+        else:
+            runtime = ServiceChain(nfs, metrics=self.metrics)
+        platform_cls = PLATFORM_CLASSES[self.platform_name]
+        platform = platform_cls(
+            runtime,
+            config=self.config,
+            metrics=self.metrics,
+            tracer=self.tracer,
+            label=f"{platform_cls.name}:r{rid}",
+        )
+        self.replicas[rid] = ChainReplica(replica_id=rid, platform=platform)
+        return rid
+
+    @property
+    def replica_count(self) -> int:
+        return len(self.replicas)
+
+    def replica(self, replica_id: int) -> ChainReplica:
+        return self.replicas[replica_id]
+
+    # -- dispatch -------------------------------------------------------------
+
+    def home_of(self, flow: FiveTuple) -> int:
+        """The replica holding this flow's state right now."""
+        key = flow.canonical()
+        home = self._flow_homes.get(key)
+        if home is not None:
+            return home
+        return self.sharder.replica_for(key)
+
+    def process(self, packet: Packet) -> Optional[PacketOutcome]:
+        """Dispatch one packet to its flow's replica (unloaded mode).
+
+        Returns ``None`` when the flow is frozen mid-migration — the
+        packet is buffered and will be replayed, in order, on the target
+        replica when the migration completes.
+        """
+        key = packet.five_tuple().canonical()
+        buffer = self._frozen.get(key)
+        if buffer is not None:
+            buffer.append(packet)
+            self.packets_buffered += 1
+            self._m_buffered.inc()
+            return None
+        rid = self.home_of(key)
+        self._flow_homes[key] = rid
+        outcome = self.replicas[rid].platform.process(packet)
+        self._note_egress(packet, key, rid)
+        return outcome
+
+    def _note_egress(self, packet: Packet, ingress_key: FiveTuple, rid: int) -> None:
+        """Keep a rewritten connection's return traffic on this replica.
+
+        When the chain rewrites the five-tuple (NAT, LB), the peer's
+        replies arrive addressed to the *translated* endpoint — a tuple
+        that hashes to an arbitrary bucket.  Pin its canonical key to the
+        replica holding the translation state.
+        """
+        egress_key = packet.five_tuple().canonical()
+        if egress_key == ingress_key:
+            return
+        self._flow_homes.setdefault(egress_key, rid)
+        if self.sharder.replica_for(egress_key) != rid:
+            self.sharder.pin(egress_key, rid)
+
+    def process_all(self, packets: Sequence[Packet]) -> List[Optional[PacketOutcome]]:
+        return [self.process(packet) for packet in packets]
+
+    # -- loaded mode: all replicas on one engine ------------------------------
+
+    def run_load(
+        self, packets: Sequence[Packet], inter_arrival_ns: float = 0.0
+    ) -> ClusterLoadResult:
+        """Two-phase loaded run across every replica on a shared engine.
+
+        The functional pass shards and processes packets in global
+        arrival order; the temporal pass replays each replica's stage
+        plans concurrently on one engine, with arrival gaps preserving
+        the *global* offered timeline.  With ``physical_cores`` set, all
+        replicas' stage workers contend for that core pool.
+        """
+        if self._frozen:
+            raise MigrationError(
+                f"cannot run load with {len(self._frozen)} flow(s) frozen mid-migration"
+            )
+        plans: Dict[int, list] = {rid: [] for rid in self.replicas}
+        gaps: Dict[int, List[float]] = {rid: [] for rid in self.replicas}
+        dropped: Dict[int, int] = {rid: 0 for rid in self.replicas}
+        last_arrival: Dict[int, float] = {}
+        for index, packet in enumerate(packets):
+            arrival = index * inter_arrival_ns
+            key = packet.five_tuple().canonical()
+            rid = self.home_of(key)
+            self._flow_homes[key] = rid
+            platform = self.replicas[rid].platform
+            outcome = platform.process(packet)
+            self._note_egress(packet, key, rid)
+            plans[rid].append(platform._stage_plan(outcome.report))
+            gaps[rid].append(arrival - last_arrival.get(rid, 0.0))
+            last_arrival[rid] = arrival
+            if outcome.dropped:
+                dropped[rid] += 1
+
+        engine = Engine()
+        any_platform = next(iter(self.replicas.values())).platform
+        any_platform._attach_observer(engine)
+        core_pool = None
+        if self.physical_cores is not None:
+            core_pool = Resource(engine, capacity=self.physical_cores, name="cores")
+        runs = {
+            rid: replica.platform._spawn_pipeline(
+                engine, plans[rid], gaps[rid], core_pool=core_pool
+            )
+            for rid, replica in self.replicas.items()
+        }
+        engine.run()
+
+        per_replica: Dict[int, LoadResult] = {}
+        busy_ns: Dict[int, float] = {}
+        for rid, run in runs.items():
+            self.replicas[rid].platform._publish_load_metrics(run.rings)
+            per_replica[rid] = run.to_load_result(
+                offered=len(plans[rid]), dropped=dropped[rid]
+            )
+            busy_ns[rid] = sum(
+                service for plan in plans[rid] for __, service in plan
+            )
+        total = LoadResult.merged(list(per_replica.values()))
+        return ClusterLoadResult(total=total, per_replica=per_replica, busy_ns=busy_ns)
+
+    # -- migration choreography -----------------------------------------------
+
+    def begin_migration(self, flow: FiveTuple) -> FiveTuple:
+        """Freeze the flow at the sharder; its packets buffer from now on.
+
+        Freezing covers every wire direction of the connection — for a
+        NAT'd flow that includes the translated return tuple — and all
+        of them share one buffer so replay preserves arrival order.
+        """
+        key = flow.canonical()
+        if key in self._frozen:
+            raise MigrationError(f"flow {flow} is already frozen")
+        src_nfs = self.replicas[self.home_of(key)].runtime.nfs
+        group: List[FiveTuple] = []
+        for direction in wire_directions(src_nfs, key):
+            canonical = direction.canonical()
+            if canonical not in group:
+                group.append(canonical)
+        buffer: List[Packet] = []
+        for member in group:
+            if member in self._frozen:
+                raise MigrationError(f"flow {member} is already frozen")
+            self._frozen[member] = buffer
+        self._freeze_groups[key] = group
+        return key
+
+    def complete_migration(
+        self, flow: FiveTuple, dst_replica_id: int, pin: bool = True
+    ) -> Tuple[Optional[MigrationReport], List[PacketOutcome]]:
+        """Transfer the frozen flow's state, then replay its buffer.
+
+        Returns the migration report (``None`` if the flow was already
+        home) and the outcomes of the replayed packets — exactly one per
+        buffered packet: zero loss by construction.
+        """
+        key = flow.canonical()
+        group = self._freeze_groups.pop(key, None)
+        if group is None:
+            raise MigrationError(f"flow {flow} is not frozen; call begin_migration first")
+        if dst_replica_id not in self.replicas:
+            self._freeze_groups[key] = group
+            raise MigrationError(f"unknown replica {dst_replica_id!r}")
+        src_rid = self.home_of(key)
+        report: Optional[MigrationReport] = None
+        if src_rid != dst_replica_id:
+            report = self.migrator.migrate(
+                self.replicas[src_rid].runtime,
+                self.replicas[dst_replica_id].runtime,
+                key,
+            )
+        buffered = self._frozen[key]
+        for member in group:
+            del self._frozen[member]
+            if member in self._flow_homes or member == key:
+                self._flow_homes[member] = dst_replica_id
+            # Secondary keys (translated return tuples) must always stay
+            # with the state that translates them; only the primary key's
+            # table override is the caller's choice.
+            if pin or member != key:
+                if self.sharder.replica_for(member) != dst_replica_id:
+                    self.sharder.pin(member, dst_replica_id)
+        outcomes = []
+        for packet in buffered:
+            ingress = packet.five_tuple().canonical()
+            outcome = self.replicas[dst_replica_id].platform.process(packet)
+            self._note_egress(packet, ingress, dst_replica_id)
+            outcomes.append(outcome)
+        return report, outcomes
+
+    def migrate_flow(
+        self, flow: FiveTuple, dst_replica_id: int, pin: bool = True
+    ) -> Optional[MigrationReport]:
+        """Freeze + transfer + resume in one call (no traffic in between)."""
+        self.begin_migration(flow)
+        report, __ = self.complete_migration(flow, dst_replica_id, pin=pin)
+        return report
+
+    def churn_flows(self, count: int, seed: int = 0) -> List[MigrationReport]:
+        """Forcibly re-home ``count`` live flows (migration-churn ablation).
+
+        Deterministic: flows are chosen by seeded sample over the sorted
+        live-flow set, each moved to the next replica id round-robin.
+        """
+        import random
+
+        live = sorted(self._flow_homes)
+        if not live or len(self.replicas) < 2:
+            return []
+        rng = random.Random(seed)
+        chosen = rng.sample(live, min(count, len(live)))
+        rids = sorted(self.replicas)
+        reports = []
+        for key in chosen:
+            home = self._flow_homes[key]
+            dst = rids[(rids.index(home) + 1) % len(rids)]
+            report = self.migrate_flow(key, dst)
+            if report is not None:
+                reports.append(report)
+        return reports
+
+    # -- elasticity (used by the autoscaler) ----------------------------------
+
+    def scale_out(self, weight: float = 1.0, rebalance: bool = True) -> int:
+        """Add a replica; repartition and migrate the moved buckets' flows."""
+        rid = self._spawn_replica()
+        # rebalance=False joins with zero buckets — the equivalence
+        # oracle uses this to add an empty replica and migrate one flow
+        # onto it by pin, isolating migration from resharding effects.
+        self.sharder.add_replica(rid, weight, rebalance=rebalance)
+        if rebalance:
+            self._migrate_rehomed_flows()
+        self._m_replicas.set(len(self.replicas))
+        return rid
+
+    def scale_in(self) -> int:
+        """Retire the highest-id replica, migrating its flows away first."""
+        if len(self.replicas) <= 1:
+            raise MigrationError("cannot scale in below one replica")
+        rid = max(self.replicas)
+        self.sharder.remove_replica(rid)
+        self._migrate_rehomed_flows()
+        remaining = [home for home in self._flow_homes.values() if home == rid]
+        if remaining:
+            raise MigrationError(
+                f"replica {rid} still homes {len(remaining)} flow(s) after drain"
+            )
+        del self.replicas[rid]
+        self._m_replicas.set(len(self.replicas))
+        return rid
+
+    def _migrate_rehomed_flows(self) -> List[MigrationReport]:
+        """Move every live flow whose sharder target no longer matches home."""
+        reports = []
+        for key in sorted(self._flow_homes):
+            target = self.sharder.replica_for(key)
+            if target != self._flow_homes[key]:
+                report = self.migrate_flow(key, target, pin=False)
+                if report is not None:
+                    reports.append(report)
+        return reports
+
+    # -- introspection --------------------------------------------------------
+
+    def flow_homes(self) -> Dict[FiveTuple, int]:
+        return dict(self._flow_homes)
+
+    def reset(self) -> None:
+        for replica in self.replicas.values():
+            replica.platform.reset()
+        self._frozen.clear()
+        self._freeze_groups.clear()
+        self._flow_homes.clear()
+        self.packets_buffered = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"<ScaleCluster {self.platform_name} x{len(self.replicas)} "
+            f"({'speedybox' if self.speedybox else 'original'}), "
+            f"{len(self._flow_homes)} live flows>"
+        )

@@ -1,0 +1,233 @@
+"""RSS-style flow sharding onto chain replicas.
+
+A hardware NIC spreads flows over cores by hashing the five-tuple into a
+small *indirection table* of buckets, each bucket naming a queue (here: a
+chain replica).  We reproduce that scheme in software because its two
+properties are exactly what flow-state migration needs:
+
+- **stability** — a flow's bucket is a pure function of its five-tuple,
+  so the same flow always lands on the same replica until the table is
+  explicitly repartitioned;
+- **minimal remapping** — repartitioning moves whole buckets, and the
+  largest-remainder quota assignment moves only the buckets that *must*
+  move: growing from N to N+1 equal-weight replicas relocates about
+  ``size/(N+1)`` buckets, all of them onto the new replica.
+
+Both directions of a connection must reach the same replica (the NAT's
+reverse mapping, Snort's flowbits and the monitor counters live there),
+so hashing is over :meth:`~repro.net.flow.FiveTuple.canonical`.
+
+Per-flow *pins* override the table during migrations: a migrated flow is
+pinned to its new home so it does not snap back when the table changes.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.net.flow import FiveTuple
+
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+
+
+def shard_hash(flow: FiveTuple) -> int:
+    """Direction-independent 64-bit FNV-1a over the canonical five-tuple.
+
+    Deliberately seeded differently from the classifier's FID hash so
+    sharding and FID assignment stay uncorrelated.
+    """
+    canonical = flow.canonical()
+    data = struct.pack(
+        "!IIHHB",
+        canonical.src_ip,
+        canonical.dst_ip,
+        canonical.src_port,
+        canonical.dst_port,
+        canonical.protocol,
+    )
+    value = _FNV_OFFSET ^ 0x5CA1AB1E
+    for byte in data:
+        value ^= byte
+        value = (value * _FNV_PRIME) & 0xFFFFFFFFFFFFFFFF
+    return value
+
+
+def _largest_remainder_quotas(weights: Mapping[int, float], size: int) -> Dict[int, int]:
+    """Integer bucket quotas proportional to weight, summing to ``size``."""
+    total = float(sum(weights.values()))
+    if total <= 0:
+        raise ValueError("total weight must be positive")
+    raw = {rid: size * weight / total for rid, weight in weights.items()}
+    quotas = {rid: int(value) for rid, value in raw.items()}
+    leftover = size - sum(quotas.values())
+    by_remainder = sorted(raw, key=lambda rid: (-(raw[rid] - quotas[rid]), rid))
+    for rid in by_remainder[:leftover]:
+        quotas[rid] += 1
+    return quotas
+
+
+class IndirectionTable:
+    """bucket → replica, repartitioned with minimal movement.
+
+    The table is the pluggable policy object of the sharder: subclass and
+    override :meth:`rebalance` for a different repartitioning strategy
+    (e.g. consistent hashing); the sharder only relies on ``size``,
+    ``replica_of`` and ``rebalance``'s moved-bucket report.
+    """
+
+    def __init__(self, size: int = 128):
+        if size <= 0:
+            raise ValueError(f"indirection table size must be positive, got {size!r}")
+        self.size = size
+        self._buckets: List[Optional[int]] = [None] * size
+        self.generation = 0
+
+    def replica_of(self, bucket: int) -> int:
+        replica = self._buckets[bucket]
+        if replica is None:
+            raise RuntimeError("indirection table not yet populated; call rebalance()")
+        return replica
+
+    def buckets_snapshot(self) -> Tuple[Optional[int], ...]:
+        return tuple(self._buckets)
+
+    def rebalance(
+        self, weights: Mapping[int, float]
+    ) -> Dict[int, Tuple[Optional[int], int]]:
+        """Repartition to the given replica weights; move as little as possible.
+
+        Every bucket keeps its current replica while that replica stays
+        within its new quota; orphaned buckets (owner removed) and
+        over-quota spill move to the replicas with remaining deficit, in
+        ascending replica id.  Returns ``{bucket: (old, new)}`` for every
+        bucket that changed owner.
+        """
+        if not weights:
+            raise ValueError("rebalance needs at least one replica")
+        for rid, weight in weights.items():
+            if weight <= 0:
+                raise ValueError(f"replica {rid} weight must be positive, got {weight!r}")
+        quotas = _largest_remainder_quotas(weights, self.size)
+        kept: Dict[int, int] = {rid: 0 for rid in quotas}
+        homeless: List[int] = []
+        for bucket, owner in enumerate(self._buckets):
+            if owner in quotas and kept[owner] < quotas[owner]:
+                kept[owner] += 1
+            else:
+                homeless.append(bucket)
+
+        deficits = [(rid, quotas[rid] - kept[rid]) for rid in sorted(quotas)]
+        moved: Dict[int, Tuple[Optional[int], int]] = {}
+        cursor = iter(homeless)
+        for rid, deficit in deficits:
+            for __ in range(deficit):
+                bucket = next(cursor)
+                moved[bucket] = (self._buckets[bucket], rid)
+                self._buckets[bucket] = rid
+        if moved:
+            self.generation += 1
+        return moved
+
+
+class FlowSharder:
+    """Hash five-tuples onto weighted chain replicas, RSS style."""
+
+    def __init__(
+        self,
+        replicas: Union[int, Mapping[int, float], Sequence[int]],
+        buckets: int = 128,
+        table: Optional[IndirectionTable] = None,
+    ):
+        if isinstance(replicas, int):
+            weights: Dict[int, float] = {rid: 1.0 for rid in range(replicas)}
+        elif isinstance(replicas, Mapping):
+            weights = dict(replicas)
+        else:
+            weights = {rid: 1.0 for rid in replicas}
+        if not weights:
+            raise ValueError("a sharder needs at least one replica")
+        self.table = table or IndirectionTable(buckets)
+        self._weights = weights
+        self._pins: Dict[FiveTuple, int] = {}
+        self.table.rebalance(weights)
+
+    # -- lookup ---------------------------------------------------------------
+
+    @property
+    def replica_ids(self) -> Tuple[int, ...]:
+        return tuple(sorted(self._weights))
+
+    @property
+    def weights(self) -> Dict[int, float]:
+        return dict(self._weights)
+
+    def bucket_of(self, flow: FiveTuple) -> int:
+        return shard_hash(flow) % self.table.size
+
+    def replica_for(self, flow: FiveTuple) -> int:
+        """The replica this flow (either direction) belongs to right now."""
+        pinned = self._pins.get(flow.canonical())
+        if pinned is not None:
+            return pinned
+        return self.table.replica_of(self.bucket_of(flow))
+
+    # -- pins (migration overrides) -------------------------------------------
+
+    def pin(self, flow: FiveTuple, replica_id: int) -> None:
+        if replica_id not in self._weights:
+            raise KeyError(f"unknown replica {replica_id!r}")
+        self._pins[flow.canonical()] = replica_id
+
+    def unpin(self, flow: FiveTuple) -> bool:
+        return self._pins.pop(flow.canonical(), None) is not None
+
+    def pinned_flows(self) -> Dict[FiveTuple, int]:
+        return dict(self._pins)
+
+    # -- repartitioning -------------------------------------------------------
+
+    def set_weights(
+        self, weights: Mapping[int, float]
+    ) -> Dict[int, Tuple[Optional[int], int]]:
+        """Install a new replica set/weighting; returns the moved buckets."""
+        if not weights:
+            raise ValueError("a sharder needs at least one replica")
+        moved = self.table.rebalance(weights)
+        self._weights = dict(weights)
+        for flow, rid in list(self._pins.items()):
+            if rid not in self._weights:
+                del self._pins[flow]
+        return moved
+
+    def add_replica(
+        self, replica_id: int, weight: float = 1.0, rebalance: bool = True
+    ) -> Dict[int, Tuple[Optional[int], int]]:
+        """Register a replica; with ``rebalance=False`` it joins with no
+        buckets (flows reach it only via pins until the next rebalance)."""
+        if replica_id in self._weights:
+            raise ValueError(f"replica {replica_id!r} already present")
+        if not rebalance:
+            if weight <= 0:
+                raise ValueError(f"replica weight must be positive, got {weight!r}")
+            self._weights[replica_id] = weight
+            return {}
+        weights = dict(self._weights)
+        weights[replica_id] = weight
+        return self.set_weights(weights)
+
+    def remove_replica(self, replica_id: int) -> Dict[int, Tuple[Optional[int], int]]:
+        if replica_id not in self._weights:
+            raise KeyError(f"unknown replica {replica_id!r}")
+        if len(self._weights) == 1:
+            raise ValueError("cannot remove the last replica")
+        weights = dict(self._weights)
+        del weights[replica_id]
+        return self.set_weights(weights)
+
+    def __repr__(self) -> str:
+        return (
+            f"<FlowSharder {len(self._weights)} replicas, "
+            f"{self.table.size} buckets, {len(self._pins)} pins>"
+        )

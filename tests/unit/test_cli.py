@@ -144,3 +144,56 @@ class TestTraceCommand:
 
     def test_missing_args_errors(self, capsys):
         assert main(["trace"]) == 2
+
+
+class TestScaleCommand:
+    def test_scale_sweeps_both_platforms(self, capsys):
+        assert main(["scale", "--replicas", "2", "--flows", "8", "--seed", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "replica sweep" in out
+        assert "Mpps" in out and "p99 us" in out
+        # One row per (platform, replica count): both models, counts 1..2.
+        assert sum(line.startswith("bess") for line in out.splitlines()) == 2
+        assert sum(line.startswith("onvm") for line in out.splitlines()) == 2
+
+    def test_scale_single_platform(self, capsys):
+        assert main(
+            ["scale", "--replicas", "3", "--platforms", "onvm", "--flows", "8"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert sum(line.startswith("onvm") for line in out.splitlines()) == 3
+        assert not any(line.startswith("bess") for line in out.splitlines())
+
+    def test_scale_churn_reports_migrations(self, capsys):
+        assert main(
+            ["scale", "--replicas", "2", "--platforms", "bess", "--flows", "12",
+             "--churn", "3"]
+        ) == 0
+        out = capsys.readouterr().out
+        two_replica_row = [
+            line for line in out.splitlines() if line.startswith("bess      2")
+        ]
+        assert two_replica_row and two_replica_row[0].rstrip().endswith("3")
+
+    def test_scale_physical_cores_and_gap(self, capsys):
+        assert main(
+            ["scale", "--replicas", "2", "--platforms", "bess", "--flows", "6",
+             "--physical-cores", "4", "--gap-ns", "100"]
+        ) == 0
+        assert "replica sweep" in capsys.readouterr().out
+
+    def test_scale_no_speedybox(self, capsys):
+        assert main(
+            ["scale", "--replicas", "1", "--platforms", "bess", "--flows", "6",
+             "--no-speedybox"]
+        ) == 0
+
+    def test_scale_metrics_json(self, tmp_path, capsys):
+        target = tmp_path / "scale-metrics.json"
+        assert main(
+            ["scale", "--replicas", "2", "--platforms", "onvm", "--flows", "8",
+             "--churn", "2", "--metrics-json", str(target)]
+        ) == 0
+        payload = json.loads(target.read_text())
+        assert "cluster_replicas" in payload
+        assert "flow_migrations_total" in payload

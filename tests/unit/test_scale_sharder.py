@@ -1,0 +1,182 @@
+"""Property tests for the RSS-style flow sharder.
+
+The sharder's contract is what makes migration tractable: mappings are
+deterministic, direction-independent, near-uniform, and repartitioning
+moves the minimum number of buckets.  Hypothesis hunts the corners.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.flow import FiveTuple
+from repro.scale import FlowSharder, IndirectionTable, shard_hash
+
+five_tuples = st.builds(
+    FiveTuple,
+    src_ip=st.integers(0, 2**32 - 1),
+    dst_ip=st.integers(0, 2**32 - 1),
+    src_port=st.integers(0, 65535),
+    dst_port=st.integers(0, 65535),
+    protocol=st.sampled_from([6, 17]),
+)
+
+
+def random_flows(count, seed=11):
+    rng = random.Random(seed)
+    return [
+        FiveTuple(
+            rng.randrange(2**32),
+            rng.randrange(2**32),
+            rng.randrange(65536),
+            rng.randrange(65536),
+            6,
+        )
+        for __ in range(count)
+    ]
+
+
+class TestShardHashProperties:
+    @given(five_tuples)
+    def test_deterministic(self, flow):
+        assert shard_hash(flow) == shard_hash(flow)
+
+    @given(five_tuples)
+    def test_direction_independent(self, flow):
+        assert shard_hash(flow) == shard_hash(flow.reversed())
+
+    @given(five_tuples, st.integers(1, 8))
+    def test_same_replica_both_directions(self, flow, replicas):
+        sharder = FlowSharder(replicas)
+        assert sharder.replica_for(flow) == sharder.replica_for(flow.reversed())
+
+    @given(five_tuples, st.integers(1, 8), st.integers(16, 256))
+    def test_mapping_reproducible_across_instances(self, flow, replicas, buckets):
+        a = FlowSharder(replicas, buckets=buckets)
+        b = FlowSharder(replicas, buckets=buckets)
+        assert a.replica_for(flow) == b.replica_for(flow)
+
+    @given(st.integers(2, 8))
+    @settings(max_examples=20)
+    def test_near_uniform_balance(self, replicas):
+        sharder = FlowSharder(replicas, buckets=256)
+        counts = {rid: 0 for rid in sharder.replica_ids}
+        flows = random_flows(4000, seed=replicas)
+        for flow in flows:
+            counts[sharder.replica_for(flow)] += 1
+        fair = len(flows) / replicas
+        for rid, count in counts.items():
+            assert 0.5 * fair <= count <= 1.5 * fair, (rid, counts)
+
+    @given(st.integers(1, 7), st.integers(32, 256))
+    @settings(max_examples=40)
+    def test_minimal_remap_on_grow(self, replicas, buckets):
+        """Adding a replica moves only the new replica's quota of buckets
+        — and every moved bucket moves *to* the new replica."""
+        sharder = FlowSharder(replicas, buckets=buckets)
+        before = sharder.table.buckets_snapshot()
+        new_rid = max(sharder.replica_ids) + 1
+        moved = sharder.add_replica(new_rid)
+        assert all(new == new_rid for __, new in moved.values())
+        expected = buckets // (replicas + 1)
+        assert expected <= len(moved) <= expected + 1
+        after = sharder.table.buckets_snapshot()
+        for bucket, owner in enumerate(before):
+            if bucket not in moved:
+                assert after[bucket] == owner
+
+    @given(st.integers(2, 8))
+    @settings(max_examples=20)
+    def test_remapped_flow_fraction_is_about_one_over_n(self, replicas):
+        sharder = FlowSharder(replicas, buckets=256)
+        flows = random_flows(2000, seed=replicas * 7)
+        before = {flow: sharder.replica_for(flow) for flow in flows}
+        sharder.add_replica(replicas)
+        remapped = sum(1 for flow in flows if sharder.replica_for(flow) != before[flow])
+        fraction = remapped / len(flows)
+        assert fraction <= 2.0 / (replicas + 1), fraction
+
+
+class TestIndirectionTable:
+    def test_weighted_quotas(self):
+        table = IndirectionTable(size=128)
+        table.rebalance({0: 3.0, 1: 1.0})
+        owners = table.buckets_snapshot()
+        assert owners.count(0) == 96
+        assert owners.count(1) == 32
+
+    def test_rebalance_reports_every_move(self):
+        table = IndirectionTable(size=64)
+        moved = table.rebalance({0: 1.0})
+        assert len(moved) == 64
+        assert all(old is None and new == 0 for old, new in moved.values())
+        moved = table.rebalance({0: 1.0, 1: 1.0})
+        assert len(moved) == 32
+        assert all(old == 0 and new == 1 for old, new in moved.values())
+
+    def test_generation_bumps_only_on_change(self):
+        table = IndirectionTable(size=16)
+        table.rebalance({0: 1.0})
+        generation = table.generation
+        assert table.rebalance({0: 1.0}) == {}
+        assert table.generation == generation
+
+    def test_unpopulated_lookup_raises(self):
+        with pytest.raises(RuntimeError):
+            IndirectionTable(size=4).replica_of(0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            IndirectionTable(size=0)
+        with pytest.raises(ValueError):
+            IndirectionTable(size=8).rebalance({})
+        with pytest.raises(ValueError):
+            IndirectionTable(size=8).rebalance({0: -1.0})
+
+
+class TestPins:
+    def test_pin_overrides_table_and_unpin_restores(self):
+        sharder = FlowSharder(4, buckets=64)
+        flow = random_flows(1)[0]
+        natural = sharder.replica_for(flow)
+        target = (natural + 1) % 4
+        sharder.pin(flow, target)
+        assert sharder.replica_for(flow) == target
+        assert sharder.replica_for(flow.reversed()) == target
+        assert sharder.unpin(flow)
+        assert sharder.replica_for(flow) == natural
+        assert not sharder.unpin(flow)
+
+    def test_pins_to_removed_replicas_are_dropped(self):
+        sharder = FlowSharder(3, buckets=64)
+        flow = random_flows(1)[0]
+        sharder.pin(flow, 2)
+        sharder.remove_replica(2)
+        assert flow.canonical() not in sharder.pinned_flows()
+        assert sharder.replica_for(flow) in (0, 1)
+
+    def test_pin_to_unknown_replica_raises(self):
+        sharder = FlowSharder(2)
+        with pytest.raises(KeyError):
+            sharder.pin(random_flows(1)[0], 9)
+
+
+class TestSharderLifecycle:
+    def test_add_without_rebalance_gets_no_buckets(self):
+        sharder = FlowSharder(2, buckets=64)
+        before = sharder.table.buckets_snapshot()
+        assert sharder.add_replica(2, rebalance=False) == {}
+        assert sharder.table.buckets_snapshot() == before
+        assert 2 in sharder.replica_ids
+
+    def test_cannot_remove_last_replica(self):
+        sharder = FlowSharder(1)
+        with pytest.raises(ValueError):
+            sharder.remove_replica(0)
+
+    def test_duplicate_add_rejected(self):
+        sharder = FlowSharder(2)
+        with pytest.raises(ValueError):
+            sharder.add_replica(1)
