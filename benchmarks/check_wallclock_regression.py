@@ -1,0 +1,86 @@
+"""CI perf gate: compare a fresh wallclock run against the committed baseline.
+
+Usage::
+
+    python benchmarks/check_wallclock_regression.py BASELINE.json CURRENT.json \
+        [--threshold 0.25]
+
+Absolute seconds are machine-dependent, so the gate normalises by the
+legacy run: the legacy engine is the same code in both files, so the
+ratio ``current_legacy / baseline_legacy`` measures how much slower or
+faster *this machine* is, and the fast run is held to the baseline
+scaled by that factor.  A case regresses when its normalised
+seconds-per-100k-packets exceeds the baseline by more than the
+threshold (default 25%), or when the fast/legacy results stopped being
+numerically identical.  Exit code 1 on any regression.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def load_metrics(path: str) -> dict:
+    with open(path) as handle:
+        payload = json.load(handle)
+    return payload["metrics"]
+
+
+_SUFFIX = "_fast_s_per_100k"
+
+
+def case_names(metrics: dict):
+    return sorted(key[: -len(_SUFFIX)] for key in metrics if key.endswith(_SUFFIX))
+
+
+def check(baseline: dict, current: dict, threshold: float) -> int:
+    failures = 0
+    for case in case_names(baseline):
+        base_fast = baseline[f"{case}_fast_s_per_100k"]
+        base_legacy = baseline[f"{case}_legacy_s_per_100k"]
+        cur_fast = current.get(f"{case}_fast_s_per_100k")
+        cur_legacy = current.get(f"{case}_legacy_s_per_100k")
+        if cur_fast is None or cur_legacy is None:
+            print(f"FAIL {case}: missing from current results")
+            failures += 1
+            continue
+        if current.get(f"{case}_identical") != 1.0:
+            print(f"FAIL {case}: fast and legacy results are no longer identical")
+            failures += 1
+            continue
+        machine_scale = cur_legacy / base_legacy
+        allowed = base_fast * machine_scale * (1.0 + threshold)
+        status = "ok" if cur_fast <= allowed else "FAIL"
+        print(
+            f"{status:4s} {case}: fast {cur_fast:.3f}s/100k "
+            f"(baseline {base_fast:.3f}, machine x{machine_scale:.2f}, "
+            f"allowed {allowed:.3f}, speedup {cur_legacy / cur_fast:.1f}x)"
+        )
+        if cur_fast > allowed:
+            failures += 1
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="committed BENCH_wallclock.json")
+    parser.add_argument("current", help="freshly measured BENCH_wallclock.json")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="allowed fractional slowdown vs the normalised baseline (default 0.25)",
+    )
+    args = parser.parse_args(argv)
+    failures = check(load_metrics(args.baseline), load_metrics(args.current), args.threshold)
+    if failures:
+        print(f"{failures} case(s) regressed beyond {args.threshold:.0%}")
+        return 1
+    print("wallclock perf gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

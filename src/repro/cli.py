@@ -357,6 +357,20 @@ def make_parser() -> argparse.ArgumentParser:
         p.add_argument("--flows", type=int, default=40, help="flows in the synthetic trace")
         p.add_argument("--seed", type=int, default=1, help="trace seed")
 
+    def profiling(p):
+        p.add_argument(
+            "--profile",
+            action="store_true",
+            help="run the command under cProfile and print the top 30 "
+                 "functions by cumulative time",
+        )
+        p.add_argument(
+            "--profile-out",
+            metavar="PATH",
+            help="also dump the raw profile stats to PATH "
+                 "(load with pstats.Stats or snakeviz)",
+        )
+
     def observability(p):
         p.add_argument(
             "--metrics-json",
@@ -385,6 +399,7 @@ def make_parser() -> argparse.ArgumentParser:
     )
     common(demo)
     observability(demo)
+    profiling(demo)
     demo.set_defaults(func=cmd_demo)
 
     sweep = sub.add_parser("sweep", help="chain-length sweep (live Fig. 8)")
@@ -392,6 +407,7 @@ def make_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--max-length", type=int, default=9)
     common(sweep)
     observability(sweep)
+    profiling(sweep)
     sweep.set_defaults(func=cmd_sweep)
 
     equivalence = sub.add_parser("equivalence", help="lockstep output comparison")
@@ -443,9 +459,27 @@ def make_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def run_profiled(args: argparse.Namespace) -> int:
+    """Run the selected command under cProfile; report top-30 cumulative."""
+    import cProfile
+    import pstats
+
+    profiler = cProfile.Profile()
+    status = profiler.runcall(args.func, args)
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    print("\n-- profile (top 30 by cumulative time) " + "-" * 32)
+    stats.strip_dirs().sort_stats("cumulative").print_stats(30)
+    if args.profile_out:
+        stats.dump_stats(args.profile_out)
+        print(f"wrote raw profile stats to {args.profile_out}")
+    return status
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = make_parser()
     args = parser.parse_args(argv)
+    if getattr(args, "profile", False) or getattr(args, "profile_out", None):
+        return run_profiled(args)
     return args.func(args)
 
 

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import struct
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Dict, Optional
 
 from repro.net.flow import FiveTuple, PROTO_TCP
@@ -37,11 +38,15 @@ _FNV_OFFSET = 0xCBF29CE484222325
 _FNV_PRIME = 0x100000001B3
 
 
+@lru_cache(maxsize=1 << 16)
 def fid_of(five_tuple: FiveTuple) -> int:
     """FNV-1a over the packed five-tuple, XOR-folded to 20 bits.
 
     Deterministic across runs and processes (unlike Python's salted
-    ``hash``), so recorded traces replay identically.
+    ``hash``), so recorded traces replay identically.  Memoized on the
+    five-tuple: a steady-state flow hashes once, its million subsequent
+    packets hit the LRU (the hash itself walks 13 bytes of FNV-1a in
+    pure Python, ~30x the cost of a cache hit).
     """
     data = struct.pack(
         "!IIHHB",
@@ -60,7 +65,7 @@ def fid_of(five_tuple: FiveTuple) -> int:
     return folded & (FID_SPACE - 1)
 
 
-@dataclass
+@dataclass(slots=True)
 class FlowEntry:
     """Classifier-side per-flow connection state."""
 
@@ -71,7 +76,7 @@ class FlowEntry:
     packets: int = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class Classification:
     """What the classifier concluded about one packet."""
 

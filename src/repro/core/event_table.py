@@ -124,7 +124,14 @@ class EventTable:
         return list(self._by_fid.get(fid, ()))
 
     def active_event_count(self, fid: int) -> int:
-        return sum(1 for event in self._by_fid.get(fid, ()) if event.active)
+        events = self._by_fid.get(fid)
+        if not events:
+            return 0
+        count = 0
+        for event in events:
+            if event.active:
+                count += 1
+        return count
 
     def clear_flow(self, fid: int) -> None:
         """Remove every event of a closed flow (FIN/RST cleanup, §VI-B)."""

@@ -1,0 +1,339 @@
+"""Compiled flow closures: the steady-state fast lane (perf engine, part 1).
+
+Once a flow is established on the Global MAT fast path, every subsequent
+packet repeats exactly the same work: classify to the same FID, look up
+the same rule, apply the same consolidated action, run the same
+state-function schedule, charge the same fixed cycle counts.  The
+interpreted path (:meth:`SpeedyBox.process` → ``_run_fast``) re-derives
+all of that per packet through framework dispatch.
+
+:func:`compile_flow` folds the per-flow constants into a
+:class:`CompiledFlow`: pre-bound header-action steps
+(:meth:`ConsolidatedAction.compiled`), a pre-charged fixed
+:class:`CycleMeter` template shared by every packet of the flow, the
+flow's interned key and FID, and direct references to the counters and
+tables the interpreted path would re-look-up.  ``SpeedyBox.process``
+consults its ``_compiled`` cache first; a hit runs :meth:`CompiledFlow.run`
+and skips classification, MAT lookup and consolidation machinery
+entirely.
+
+Correctness contract: a compiled run is *observably identical* to the
+interpreted fast path — same packet mutations, same report fields, same
+meter charges in the same order (the cycle total of a meter is a float
+sum in ``counts`` insertion order, so even the charge *order* matters for
+exact equality), same counter/LRU side effects.  :meth:`CompiledFlow.run`
+re-validates per packet and returns ``None`` (fall back to the
+interpreted path) whenever the closure's assumptions no longer hold:
+
+- the packet's five-tuple is not the flow's (FID collision);
+- the packet carries TCP FIN/RST (teardown runs interpreted);
+- the Global MAT no longer maps the FID to the compiled rule (deleted,
+  evicted, rebuilt by an event, or replaced by migration);
+- the classifier no longer tracks the compiled entry;
+- the Event Table holds an *active* event for the flow.
+
+The shared fixed meter is immutable by convention — consumers read it
+(``cycles`` is memoized per cost model); nothing on the fast lane writes
+to it after compilation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.classifier import FlowEntry
+from repro.core.framework import PathTaken, ProcessReport
+from repro.core.global_mat import GlobalRule
+from repro.net.flow import PROTO_TCP
+from repro.net.headers import TCP_FIN, TCP_RST
+from repro.obs.registry import NULL_INSTRUMENT
+from repro.platform.costs import CycleMeter, NULL_METER, Operation
+
+_FIN_RST = TCP_FIN | TCP_RST
+_FAST = PathTaken.FAST
+_SF_INVOKE = Operation.SF_INVOKE
+
+#: Sentinel for a labelled drop counter not bound yet (binding a child
+#: eagerly would materialise a zero-count series in metrics exports).
+_PENDING = object()
+
+
+def _inc_of(counter):
+    """``counter.inc`` bound once, or ``None`` for the no-op instrument.
+
+    The interpreted path pays one empty method call per disabled
+    instrument per packet; the compiled lane replaces each with a single
+    ``is not None`` test.
+    """
+    return None if counter is NULL_INSTRUMENT else counter.inc
+
+
+def _charge_nondrop(meter: CycleMeter, action) -> None:
+    """Replicate ``SpeedyBox._apply_nondrop``'s charges, in its order."""
+    meter.charge(Operation.DECAP_OP, len(action.leading_decaps))
+    field_count = len(action.field_ops)
+    if field_count:
+        meter.charge(Operation.FIELD_WRITE)
+        meter.charge(Operation.MERGED_FIELD_WRITE, field_count - 1)
+        meter.charge(Operation.CHECKSUM_UPDATE)
+    meter.charge(Operation.ENCAP_OP, len(action.net_encaps))
+
+
+def _build_fixed_meter(rule: GlobalRule) -> CycleMeter:
+    """The per-packet fixed meter of a steady-state fast-path packet.
+
+    Charge order mirrors the interpreted path exactly — classify
+    (PARSE, FID_HASH, METADATA_ATTACH), Global MAT lookup, fast-path
+    dispatch, the consolidated action's charges, metadata detach — so
+    the float summation order inside ``cycles()`` is identical too.
+    """
+    meter = CycleMeter()
+    meter.charge(Operation.PARSE)
+    meter.charge(Operation.FID_HASH)
+    meter.charge(Operation.METADATA_ATTACH)
+    meter.charge(Operation.GLOBAL_MAT_LOOKUP)
+    meter.charge(Operation.FAST_PATH_DISPATCH)
+    if rule.consolidated.drop:
+        meter.charge(Operation.DROP_FREE)
+        if rule.schedule.batch_count and rule.pre_drop is not None:
+            _charge_nondrop(meter, rule.pre_drop)
+    else:
+        _charge_nondrop(meter, rule.consolidated)
+    meter.charge(Operation.METADATA_DETACH)
+    return meter
+
+
+class CompiledFlow:
+    """One flow's fast path, pre-bound into a single cached callable."""
+
+    __slots__ = (
+        "speedybox",
+        "classifier",
+        "entry",
+        "five_tuple",
+        "fid",
+        "is_tcp",
+        "rule",
+        "rules",
+        "flows",
+        "move_to_end",
+        "events_by_fid",
+        "apply_fn",
+        "waves",
+        "is_drop",
+        "drop_cause",
+        "fixed_meter",
+        "steady_report",
+        "_m_classified_inc",
+        "_m_hits_inc",
+        "_m_fast_inc",
+        "_m_path_inc",
+        "_drops_inc",
+    )
+
+    def __init__(self, speedybox, entry: FlowEntry, rule: GlobalRule):
+        self.speedybox = speedybox
+        classifier = speedybox.classifier
+        self.classifier = classifier
+        self.entry = entry
+        self.five_tuple = entry.five_tuple
+        self.fid = entry.fid
+        self.is_tcp = entry.five_tuple.protocol == PROTO_TCP
+        self.rule = rule
+        global_mat = speedybox.global_mat
+        self.rules = global_mat._rules
+        self.flows = classifier._flows
+        self.move_to_end = global_mat._rules.move_to_end
+        self.events_by_fid = speedybox.event_table._by_fid
+
+        self.is_drop = rule.consolidated.drop
+        if self.is_drop:
+            self.drop_cause = rule.dropper or "consolidated"
+            if rule.schedule.batch_count and rule.pre_drop is not None:
+                pre_drop = rule.pre_drop
+                self.apply_fn = None if pre_drop.is_noop else pre_drop.compiled()
+            else:
+                self.apply_fn = None
+        else:
+            # A pure-FORWARD consolidated action compiles to nothing at
+            # all: the interpreted path's trailing ``finalize`` only
+            # re-derives fields (length/checksum) no one has touched
+            # since arrival, so it is a fixpoint on any consistent
+            # packet and ``serialize`` re-derives them regardless.
+            action = rule.consolidated
+            self.drop_cause = "consolidated"
+            self.apply_fn = None if action.is_noop else action.compiled()
+
+        nf_by_name = speedybox.nf_by_name
+        dropper = rule.dropper
+        self.waves = tuple(
+            tuple(
+                (
+                    batch.nf_name,
+                    nf_by_name.get(batch.nf_name),
+                    batch.execute,
+                    len(batch),
+                    self.is_drop and batch.nf_name == dropper,
+                )
+                for batch in wave
+            )
+            for wave in rule.schedule.waves
+        )
+
+        self.fixed_meter = _build_fixed_meter(rule)
+        if self.waves:
+            self.steady_report = None
+        else:
+            # With no SF schedule nothing in the report varies per packet
+            # (the drop decision is the rule's, the meter is the shared
+            # template): one singleton report serves every packet.
+            self.steady_report = ProcessReport(
+                path=_FAST,
+                fid=entry.fid,
+                dropped=self.is_drop,
+                fixed_meter=self.fixed_meter,
+                steady=True,
+            )
+        # SpeedyBox hands one registry to every component, so the
+        # per-packet counters are all-null or all-real; guard the group
+        # on the first binding (run() calls the rest unconditionally).
+        if speedybox._m_fast is NULL_INSTRUMENT:
+            self._m_classified_inc = None
+            self._m_hits_inc = None
+            self._m_fast_inc = None
+        else:
+            self._m_classified_inc = classifier._m_classified.inc
+            self._m_hits_inc = global_mat._m_hits.inc
+            self._m_fast_inc = speedybox._m_fast.inc
+        self._m_path_inc = _inc_of(speedybox._m_path[_FAST])
+        #: labelled drop counter: ``None`` when metrics are off, bound
+        #: lazily on the first drop otherwise (see ``_PENDING``)
+        self._drops_inc = None if speedybox._m_drops is NULL_INSTRUMENT else _PENDING
+
+    def run(self, packet) -> Optional[ProcessReport]:
+        """One steady-state packet; ``None`` means take the interpreted path.
+
+        The caller dispatched here through a five-tuple-keyed dict probe,
+        so the packet is already known to belong to this flow.
+        """
+        # -- validity gate: no state is touched until every check passes.
+        if self.is_tcp:
+            try:
+                if packet.l4.flags & _FIN_RST:
+                    return None  # teardown mutates the tables: interpret it
+            except AttributeError:
+                return None
+        fid = self.fid
+        if self.rules.get(fid) is not self.rule:
+            return None  # rule deleted / evicted / rebuilt / migrated
+        if self.flows.get(fid) is not self.entry:
+            return None  # classifier entry replaced under us
+        events = self.events_by_fid.get(fid)
+        if events is not None:
+            for event in events:
+                if event.active:
+                    return None  # event pending: the interpreted path fires it
+        if packet.dropped:
+            return None  # pre-dropped descriptor: pathological, interpret it
+
+        # -- classify + Global MAT hit (established: pure bookkeeping).
+        self.classifier.packets_classified += 1
+        self.entry.packets += 1
+        self.rule.hits += 1
+        self.move_to_end(fid)
+        speedybox = self.speedybox
+        speedybox.fast_packets += 1
+        inc = self._m_classified_inc
+        if inc is not None:
+            inc()
+            self._m_hits_inc()
+            self._m_fast_inc()
+
+        apply_fn = self.apply_fn
+        steady = self.steady_report
+        if steady is not None:
+            # -- no SF schedule: nothing observes the packet between here
+            # and the return, so the fid metadata attach/detach pair (a
+            # net no-op) is skipped and the singleton report says it all.
+            if apply_fn is not None:
+                apply_fn(packet)
+            if self.is_drop:
+                packet.dropped = True
+                drops_inc = self._drops_inc
+                if drops_inc is not None:
+                    if drops_inc is _PENDING:
+                        drops_inc = speedybox._m_drops.labels(cause=self.drop_cause).inc
+                        self._drops_inc = drops_inc
+                    drops_inc()
+            inc = self._m_path_inc
+            if inc is not None:
+                inc()
+            return steady
+
+        # -- SF batches may read the flow metadata the classifier attaches.
+        metadata = packet.metadata
+        metadata["fid"] = fid
+
+        # -- consolidated header action (pre-bound steps).
+        if apply_fn is not None:
+            apply_fn(packet)
+
+        # -- state-function schedule.
+        sf_waves = []
+        for wave in self.waves:
+            wave_meters = []
+            for nf_name, owner, execute, sf_count, drop_first in wave:
+                if drop_first and not packet.dropped:
+                    packet.dropped = True
+                batch_meter = CycleMeter()
+                if owner is not None:
+                    owner.meter = batch_meter
+                batch_meter.charge(_SF_INVOKE, sf_count)
+                try:
+                    execute(packet)
+                finally:
+                    if owner is not None:
+                        owner.meter = NULL_METER
+                wave_meters.append((nf_name, batch_meter))
+            sf_waves.append(wave_meters)
+        if self.is_drop and not packet.dropped:
+            packet.dropped = True
+
+        dropped = packet.dropped
+        if dropped:
+            drops_inc = self._drops_inc
+            if drops_inc is not None:
+                if drops_inc is _PENDING:
+                    drops_inc = speedybox._m_drops.labels(cause=self.drop_cause).inc
+                    self._drops_inc = drops_inc
+                drops_inc()
+
+        # -- detach + path accounting.
+        metadata.pop("fid", None)
+        metadata.pop("fid_collision", None)
+        inc = self._m_path_inc
+        if inc is not None:
+            inc()
+        return ProcessReport(
+            path=_FAST,
+            fid=fid,
+            dropped=dropped,
+            fixed_meter=self.fixed_meter,
+            sf_waves=sf_waves,
+        )
+
+
+def compile_flow(speedybox, entry: Optional[FlowEntry], rule: GlobalRule):
+    """Compile a flow's fast path, or ``None`` when it cannot be cached.
+
+    Compilation requires the consolidated form (the raw-action ablation
+    keeps the interpreted path) and an established, open, collision-free
+    classifier entry whose FID owns the rule.
+    """
+    if not speedybox.enable_consolidation:
+        return None
+    if entry is None or entry.closed or not entry.established:
+        return None
+    if entry.fid != rule.fid:
+        return None
+    return CompiledFlow(speedybox, entry, rule)

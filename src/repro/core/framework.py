@@ -35,6 +35,7 @@ from repro.core.consolidation import ConsolidatedAction
 from repro.core.event_table import Event, EventTable
 from repro.core.global_mat import GlobalMAT, GlobalRule
 from repro.core.local_mat import InstrumentationAPI, LocalMAT, LocalRule, NullInstrumentationAPI
+from repro.net.flow import FiveTuple
 from repro.net.packet import Packet
 from repro.nf.base import NetworkFunction
 from repro.obs.registry import MetricsRegistry, NULL_REGISTRY
@@ -48,7 +49,7 @@ class PathTaken(enum.Enum):
     FAST = "fast"                    # Global MAT fast path
 
 
-@dataclass
+@dataclass(slots=True)
 class ProcessReport:
     """Everything a platform needs to time one packet."""
 
@@ -63,6 +64,17 @@ class ProcessReport:
     nf_meters: List[Tuple[str, CycleMeter]] = field(default_factory=list)
     #: fast path: per wave, per batch (nf_name, meter)
     sf_waves: List[List[Tuple[str, CycleMeter]]] = field(default_factory=list)
+    #: (platform, work, latency, main_core) memo — ``Platform._time_report``
+    #: is invoked twice per loaded packet (unloaded timing + stage plan);
+    #: the cache collapses the second walk.  Owned by ``repro.platform``.
+    timing_cache: Optional[Tuple[object, float, float, float]] = field(
+        default=None, repr=False, compare=False
+    )
+    #: True for the per-flow singleton report a :class:`CompiledFlow`
+    #: returns for every steady-state packet (no SF waves, so nothing in
+    #: it varies per packet).  Consumers may key caches on the report's
+    #: identity when this is set — the object outlives the run.
+    steady: bool = field(default=False, repr=False, compare=False)
 
     @property
     def is_fast(self) -> bool:
@@ -161,10 +173,8 @@ class ServiceChain:
 
 
 def _detach_meter(nf: NetworkFunction):
-    from repro.platform.costs import NULL_METER
-
-    nf.meter = NULL_METER
-    return NULL_METER
+    nf.meter = _NULL_API_METER
+    return _NULL_API_METER
 
 
 def _is_closing_packet(packet: Packet) -> bool:
@@ -185,6 +195,7 @@ class SpeedyBox:
         enable_parallelism: bool = True,
         max_flows: Optional[int] = None,
         metrics: MetricsRegistry = NULL_REGISTRY,
+        compile_fast_path: bool = True,
     ):
         if not nfs:
             raise ValueError("SpeedyBox needs at least one NF")
@@ -194,6 +205,16 @@ class SpeedyBox:
         self.enable_consolidation = enable_consolidation
         self.max_flows = max_flows
         self.metrics = metrics
+        #: compiled steady-state fast lanes (repro.core.fastpath), keyed
+        #: by *five-tuple* so the per-packet dispatch is one dict probe on
+        #: a plain header tuple — no FID hash, no FiveTuple allocation —
+        #: and a hit doubles as the flow-identity check.  ``_compiled_fids``
+        #: is the FID-keyed index the invalidation hooks use.  Observably
+        #: identical to the interpreted fast path; disable to force the
+        #: legacy per-packet dispatch.
+        self.compile_fast_path = compile_fast_path
+        self._compiled: Dict[FiveTuple, "object"] = {}
+        self._compiled_fids: Dict[int, FiveTuple] = {}
         self.classifier = PacketClassifier(metrics=metrics)
         self.event_table = EventTable(metrics=metrics)
         self.global_mat = GlobalMAT(
@@ -241,6 +262,22 @@ class SpeedyBox:
     # -- the per-packet entry point (Fig. 1 walkthrough) --------------------
 
     def process(self, packet: Packet) -> ProcessReport:
+        compiled = self._compiled
+        if compiled:
+            l4 = packet.l4
+            if l4 is not None:
+                ip = packet.ip
+                # A plain tuple hashes/compares like the FiveTuple keys,
+                # so the probe is allocation-free and a hit *is* the
+                # flow-identity check (no FID collision can slip through).
+                flow = compiled.get(
+                    (ip.src_ip, ip.dst_ip, l4.src_port, l4.dst_port, ip.protocol)
+                )
+                if flow is not None:
+                    report = flow.run(packet)
+                    if report is not None:
+                        return report
+
         report = ProcessReport(path=PathTaken.ORIGINAL, fid=-1)
         classification = self.classifier.classify(packet, report.fixed_meter)
         report.fid = classification.fid
@@ -261,6 +298,8 @@ class SpeedyBox:
             else:
                 report.path = PathTaken.ORIGINAL
                 self._run_original(packet, report, record=True)
+            if self.compile_fast_path and not classification.is_closing:
+                self._maybe_compile(classification)
 
         if classification.is_closing:
             self.delete_flow(classification.fid, report.fixed_meter)
@@ -275,6 +314,41 @@ class SpeedyBox:
         if report.events_fired:
             self._m_events_fired.inc(report.events_fired)
         return report
+
+    def _maybe_compile(self, classification: Classification) -> None:
+        """(Re)compile the flow's fast lane after an interpreted traversal.
+
+        Runs after fast and recorded-original packets alike, so the flow's
+        *second* packet already takes the compiled lane.  Skipped while the
+        flow has active events (each packet would rebuild the rule) and
+        whenever :func:`repro.core.fastpath.compile_flow` declines.
+        """
+        fid = classification.fid
+        rule = self.global_mat.peek(fid)
+        if rule is None:
+            return
+        key = self._compiled_fids.get(fid)
+        if key is not None:
+            existing = self._compiled.get(key)
+            if existing is not None and existing.rule is rule:
+                return
+        if self.event_table.active_event_count(fid):
+            return
+        flow = _fastpath.compile_flow(self, classification.entry, rule)
+        if flow is not None:
+            if key is not None and key != flow.five_tuple:
+                self._compiled.pop(key, None)
+            self._compiled[flow.five_tuple] = flow
+            self._compiled_fids[fid] = flow.five_tuple
+        elif key is not None:
+            self._compiled.pop(key, None)
+            del self._compiled_fids[fid]
+
+    def _invalidate_compiled(self, fid: int) -> None:
+        """Drop a flow's compiled fast lane (rule or entry went away)."""
+        key = self._compiled_fids.pop(fid, None)
+        if key is not None:
+            self._compiled.pop(key, None)
 
     # -- original path with recording ---------------------------------------
 
@@ -452,6 +526,7 @@ class SpeedyBox:
         packet counts) survives; the flow's next packet takes the
         original path and re-consolidates.
         """
+        self._invalidate_compiled(fid)
         for local_mat in self.local_mats.values():
             local_mat.delete_flow(fid)
         self.event_table.clear_flow(fid)
@@ -460,6 +535,7 @@ class SpeedyBox:
         """FIN/RST cleanup across every table (§VI-B)."""
         if meter is not None:
             meter.charge(Operation.FLOW_DELETE)
+        self._invalidate_compiled(fid)
         self.global_mat.delete_flow(fid)
         for local_mat in self.local_mats.values():
             local_mat.delete_flow(fid)
@@ -476,6 +552,7 @@ class SpeedyBox:
         in the returned record still reference *this* runtime's NFs — the
         migrator must rebind them before :meth:`import_flow` on a target.
         """
+        self._invalidate_compiled(fid)
         entry = self.classifier.export_flow(fid)
         if entry is None:
             return None
@@ -494,6 +571,7 @@ class SpeedyBox:
         Handlers must already be rebound to this runtime's NF instances;
         NF-internal state (``record.nf_state``) is the migrator's job.
         """
+        self._invalidate_compiled(record.fid)
         if record.classifier_entry is not None:
             self.classifier.import_flow(record.classifier_entry)
         for name, rule in record.local_rules.items():
@@ -522,5 +600,13 @@ class SpeedyBox:
         }
         self.slow_packets = 0
         self.fast_packets = 0
+        self._compiled.clear()
+        self._compiled_fids.clear()
         for nf in self.nfs:
             nf.reset()
+
+
+# Imported last: fastpath needs ProcessReport/PathTaken from this module,
+# and this module only touches fastpath at runtime (inside _maybe_compile),
+# so the cycle resolves through the module object.
+from repro.core import fastpath as _fastpath  # noqa: E402

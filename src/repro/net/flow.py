@@ -7,6 +7,7 @@ The Packet Classifier (§VI-B) hashes the five-tuple of a packet into a
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import NamedTuple, Union
 
 from repro.net.addresses import ip_to_int, ip_to_str
@@ -50,12 +51,13 @@ class FiveTuple(NamedTuple):
         return FiveTuple(self.dst_ip, self.src_ip, self.dst_port, self.src_port, self.protocol)
 
     def canonical(self) -> "FiveTuple":
-        """A direction-independent key: the lexicographically smaller side first."""
-        forward = (self.src_ip, self.src_port)
-        backward = (self.dst_ip, self.dst_port)
-        if forward <= backward:
-            return self
-        return self.reversed()
+        """A direction-independent key: the lexicographically smaller side first.
+
+        Memoized: equal five-tuples share one *interned* canonical
+        object, so the per-packet dict lookups keyed on canonical flow
+        keys (sharder homes, freeze buffers) compare by identity first.
+        """
+        return _canonical_of(self)
 
     def __str__(self) -> str:
         proto = _PROTO_NAMES.get(self.protocol, str(self.protocol))
@@ -63,3 +65,12 @@ class FiveTuple(NamedTuple):
             f"{ip_to_str(self.src_ip)}:{self.src_port} -> "
             f"{ip_to_str(self.dst_ip)}:{self.dst_port}/{proto}"
         )
+
+
+@lru_cache(maxsize=1 << 16)
+def _canonical_of(five_tuple: FiveTuple) -> FiveTuple:
+    forward = (five_tuple.src_ip, five_tuple.src_port)
+    backward = (five_tuple.dst_ip, five_tuple.dst_port)
+    if forward <= backward:
+        return five_tuple
+    return five_tuple.reversed()

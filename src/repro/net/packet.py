@@ -239,15 +239,21 @@ class Packet:
     def finalize(self) -> None:
         """Fix up derived fields: IP total length, protocol chain, checksums."""
         inner_len = len(self.payload)
-        if self.l4 is not None:
-            inner_len += self.l4.byte_length()
-            if isinstance(self.l4, UDPHeader):
-                self.l4.length = self.l4.byte_length() + len(self.payload)
-        encap_len = sum(header.byte_length() for header in self.encaps)
-        self.ip.total_length = self.ip.byte_length() + encap_len + inner_len
-        if self.encaps and isinstance(self.encaps[0], AuthenticationHeader):
-            self.ip.protocol = PROTO_AH
-        self.ip.refresh_checksum()
+        l4 = self.l4
+        if l4 is not None:
+            inner_len += l4.byte_length()
+            if isinstance(l4, UDPHeader):
+                l4.length = l4.byte_length() + len(self.payload)
+        ip = self.ip
+        encaps = self.encaps
+        if encaps:
+            encap_len = sum(header.byte_length() for header in encaps)
+            if isinstance(encaps[0], AuthenticationHeader):
+                ip.protocol = PROTO_AH
+        else:
+            encap_len = 0
+        ip.total_length = ip.byte_length() + encap_len + inner_len
+        ip.refresh_checksum()
 
     def serialize(self) -> bytes:
         """Wire bytes: Ethernet | IPv4 | encaps (outermost first) | L4 | payload."""

@@ -31,7 +31,8 @@ from repro.obs.timeline import trace_unloaded
 from repro.obs.trace import NULL_TRACER, PacketTracer
 from repro.platform.costs import CostModel, CycleMeter, Operation
 from repro.sim import Engine, Get, Put, Request, Resource, Store, Timeout
-from repro.stats.summary import percentile
+from repro.sim.analytic import analytic_replay, plans_are_analytic
+from repro.stats.summary import percentile_sorted
 
 
 @dataclass
@@ -46,6 +47,14 @@ class PlatformConfig:
     #: DPDK-style RX/TX batching: driver costs amortise over the batch.
     #: 1 (default) = per-packet I/O; 32 is the typical DPDK burst.
     batch_size: int = 1
+    #: steady-state flows compile into cached closures on SpeedyBox
+    #: runtimes (repro.core.fastpath) — numerically identical, ~an order
+    #: of magnitude less dispatch; False forces the interpreted path
+    compiled_flows: bool = True
+    #: loaded runs use the closed-form Lindley replay (repro.sim.analytic)
+    #: when valid, falling back to the DES automatically; False forces
+    #: the DES for every run
+    analytic_replay: bool = True
 
     def __post_init__(self):
         if self.batch_size <= 0:
@@ -94,6 +103,13 @@ class LoadResult:
     dropped: int
     makespan_ns: float
     latencies_ns: List[float]
+    #: sorted copy of ``latencies_ns``, built on the first percentile
+    #: query and reused afterwards; ``merge`` returns a *new* result, so
+    #: the cache needs no invalidation hook — the length guard only
+    #: protects against in-place appends to ``latencies_ns``
+    _sorted_latencies: Optional[List[float]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     @property
     def throughput_mpps(self) -> float:
@@ -104,14 +120,20 @@ class LoadResult:
     def latency_percentile(self, fraction: float) -> float:
         """Nearest-rank percentile of the loaded latencies.
 
-        Delegates to :func:`repro.stats.summary.percentile` (rank =
-        ``ceil(fraction * n)``); the previous ``int(fraction * n)``
+        Delegates to :func:`repro.stats.summary.percentile_sorted` (rank
+        = ``ceil(fraction * n)``); the previous ``int(fraction * n)``
         index was biased low for small samples — p100 of a 4-sample
-        list only hit the maximum via the clamp.
+        list only hit the maximum via the clamp.  The sort is cached:
+        sweeps query p50/p90/p99 off one multi-thousand-sample run.
         """
-        if not self.latencies_ns:
+        samples = self.latencies_ns
+        if not samples:
             return 0.0
-        return percentile(self.latencies_ns, fraction)
+        ordered = self._sorted_latencies
+        if ordered is None or len(ordered) != len(samples):
+            ordered = sorted(samples)
+            self._sorted_latencies = ordered
+        return percentile_sorted(ordered, fraction)
 
     def merge(self, other: "LoadResult") -> "LoadResult":
         """Combine two runs as if their packets shared one run.
@@ -176,7 +198,9 @@ class PipelineRun:
     """
 
     rings: List[Store]
-    arrival_at: Dict[int, float]
+    #: packet index -> offered time; the DES builds a dict, the analytic
+    #: replay a list (packets arrive in index order) — both index the same
+    arrival_at: Union[Dict[int, float], List[float]]
     completions: List[Tuple[int, float]]
 
     def to_load_result(self, offered: int, dropped: int) -> LoadResult:
@@ -218,6 +242,11 @@ class Platform:
     ):
         self.runtime = runtime
         self.config = config or PlatformConfig()
+        if not self.config.compiled_flows and isinstance(runtime, SpeedyBox):
+            # Legacy-path runs must not serve packets from closures that
+            # were compiled before the platform took ownership.
+            runtime.compile_fast_path = False
+            runtime._compiled.clear()
         self.packets = 0
         self.metrics = metrics
         self.tracer = tracer
@@ -255,7 +284,21 @@ class Platform:
         return (model.nic_rx + model.nic_tx) / self.config.batch_size
 
     def _time_report(self, report: ProcessReport) -> Tuple[float, float, float]:
-        """(work, latency, main-core) cycles for one packet's report."""
+        """(work, latency, main-core) cycles for one packet's report.
+
+        Memoized on the report (keyed by platform identity, so a report
+        timed by two platforms is never cross-contaminated): loaded runs
+        time every report twice — once in :meth:`process`, once in the
+        stage-plan build.
+        """
+        cached = report.timing_cache
+        if cached is not None and cached[0] is self:
+            return cached[1], cached[2], cached[3]
+        work, latency, main_core = self._time_report_uncached(report)
+        report.timing_cache = (self, work, latency, main_core)
+        return work, latency, main_core
+
+    def _time_report_uncached(self, report: ProcessReport) -> Tuple[float, float, float]:
         model = self.costs
         fixed = report.fixed_meter.cycles(model)
         work = fixed + self._nic_cycles()
@@ -364,12 +407,32 @@ class Platform:
         be non-decreasing).
         """
         plans, gaps, dropped = self._functional_pass(packets, inter_arrival_ns, use_timestamps)
-        engine = Engine()
-        self._attach_observer(engine)
-        run = self._spawn_pipeline(engine, plans, gaps)
-        engine.run()
-        self._publish_load_metrics(run.rings)
+        if self._analytic_valid(plans):
+            arrival_at, completions = analytic_replay(
+                plans, gaps, self._stage_count(), self.config.ring_capacity
+            )
+            run = PipelineRun(rings=[], arrival_at=arrival_at, completions=completions)
+        else:
+            engine = Engine()
+            self._attach_observer(engine)
+            run = self._spawn_pipeline(engine, plans, gaps)
+            engine.run()
+            self._publish_load_metrics(run.rings)
         return run.to_load_result(offered=len(plans), dropped=dropped)
+
+    def _analytic_valid(self, plans: Sequence[StagePlan]) -> bool:
+        """May this run use the closed-form replay instead of the DES?
+
+        The analytic recursion cannot express observer instrumentation
+        (metrics/tracer hooks see every engine event), shared core pools
+        (only the cluster path passes one), pure-delay hops or
+        multi-producer stage graphs — those fall back to the DES.
+        """
+        if not self.config.analytic_replay:
+            return False
+        if self.metrics.enabled or self.tracer.enabled:
+            return False
+        return plans_are_analytic(plans)
 
     def _functional_pass(
         self,
@@ -383,6 +446,12 @@ class Platform:
         gap of packet ``i`` is the Timeout its source takes before
         offering it, so ``gaps[0]`` is the delay to the first arrival.
         """
+        if (
+            not self.metrics.enabled
+            and not self.tracer.enabled
+            and (self.config.compiled_flows or self.config.analytic_replay)
+        ):
+            return self._functional_pass_lean(packets, inter_arrival_ns, use_timestamps)
         plans: List[StagePlan] = []
         gaps: List[float] = []
         dropped = 0
@@ -399,6 +468,61 @@ class Platform:
             plans.append(self._stage_plan(outcome.report))
             if outcome.dropped:
                 dropped += 1
+        return plans, gaps, dropped
+
+    def _functional_pass_lean(
+        self,
+        packets: Sequence[Packet],
+        inter_arrival_ns: float,
+        use_timestamps: bool,
+    ) -> Tuple[List[StagePlan], List[float], int]:
+        """The functional pass without per-packet outcome assembly.
+
+        Loaded runs only need (plan, gap, dropped) per packet — the
+        :class:`PacketOutcome` wrapper, its unloaded-latency conversion
+        and the metric observations :meth:`process` performs per packet
+        exist for instrumented runs.  With metrics and tracing off they
+        are dead weight, so the fast engine (either half of it) drives
+        the runtime directly; forcing the full legacy configuration
+        (``compiled_flows=False, analytic_replay=False``) restores the
+        original pass for honest wall-clock baselines.  Steady-state
+        singleton reports (``report.steady``) map to one cached stage
+        plan, skipping the per-packet timing walk entirely.
+        """
+        plans: List[StagePlan] = []
+        dropped = 0
+        if use_timestamps:
+            gaps = []
+            previous_ts: Optional[float] = None
+            for packet in packets:
+                if previous_ts is not None and packet.timestamp_ns < previous_ts:
+                    raise ValueError("trace timestamps must be non-decreasing for replay")
+                gaps.append(0.0 if previous_ts is None else packet.timestamp_ns - previous_ts)
+                previous_ts = packet.timestamp_ns
+        else:
+            gaps = [inter_arrival_ns] * len(packets)
+            if gaps:
+                gaps[0] = 0.0
+        process = self.runtime.process
+        stage_plan = self._stage_plan
+        plan_cache: Dict[int, StagePlan] = {}
+        append_plan = plans.append
+        for packet in packets:
+            report = process(packet)
+            if report.dropped:
+                dropped += 1
+            if report.steady:
+                # Identity-keyed: steady reports are per-flow singletons
+                # kept alive by their CompiledFlow for the whole run.
+                key = id(report)
+                plan = plan_cache.get(key)
+                if plan is None:
+                    plan = stage_plan(report)
+                    plan_cache[key] = plan
+            else:
+                plan = stage_plan(report)
+            append_plan(plan)
+        self.packets += len(plans)
         return plans, gaps, dropped
 
     def _spawn_pipeline(

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field, fields, replace
+from functools import cached_property
 from typing import Dict, Optional
 
 
@@ -130,8 +131,20 @@ class CostModel:
     worker_join: float = 50.0
     flow_delete: float = 80.0
 
+    @cached_property
+    def op_cycles(self) -> Dict[Operation, float]:
+        """Operation -> cycles table, built once per model instance.
+
+        Meters converting themselves to cycles hit this dict instead of
+        paying an enum-attribute ``getattr`` per operation per packet.
+        (``cached_property`` writes straight into ``__dict__``, which is
+        allowed on a frozen dataclass; ``with_overrides`` copies get a
+        fresh cache.)
+        """
+        return {operation: getattr(self, operation.value) for operation in Operation}
+
     def cycles_for(self, operation: Operation) -> float:
-        return getattr(self, operation.value)
+        return self.op_cycles[operation]
 
     def ns_per_cycle(self) -> float:
         return 1.0 / self.clock_ghz
@@ -160,28 +173,41 @@ class CycleMeter:
     to cycles with its :class:`CostModel`.
     """
 
-    __slots__ = ("counts", "direct_cycles")
+    __slots__ = ("counts", "direct_cycles", "_memo_model", "_memo_cycles")
 
     def __init__(self):
         self.counts: Dict[Operation, float] = {}
         self.direct_cycles = 0.0
+        #: memo of the last cycles() conversion — hot meters (e.g. the
+        #: shared fixed meter of a compiled flow) are converted with the
+        #: same model thousands of times without changing in between
+        self._memo_model: Optional[CostModel] = None
+        self._memo_cycles = 0.0
 
     def charge(self, operation: Operation, times: float = 1.0) -> None:
         if times:
             self.counts[operation] = self.counts.get(operation, 0.0) + times
+            self._memo_model = None
 
     def charge_cycles(self, cycles: float) -> None:
         self.direct_cycles += cycles
+        self._memo_model = None
 
     def merge(self, other: "CycleMeter") -> None:
         for operation, times in other.counts.items():
             self.counts[operation] = self.counts.get(operation, 0.0) + times
         self.direct_cycles += other.direct_cycles
+        self._memo_model = None
 
     def cycles(self, model: CostModel) -> float:
+        if self._memo_model is model:
+            return self._memo_cycles
         total = self.direct_cycles
+        table = model.op_cycles
         for operation, times in self.counts.items():
-            total += model.cycles_for(operation) * times
+            total += table[operation] * times
+        self._memo_model = model
+        self._memo_cycles = total
         return total
 
     def count(self, operation: Operation) -> float:
@@ -190,6 +216,7 @@ class CycleMeter:
     def reset(self) -> None:
         self.counts.clear()
         self.direct_cycles = 0.0
+        self._memo_model = None
 
     def copy(self) -> "CycleMeter":
         meter = CycleMeter()

@@ -32,7 +32,13 @@ from repro.nf.base import NetworkFunction
 from repro.obs.registry import MetricsRegistry, NULL_REGISTRY
 from repro.obs.trace import NULL_TRACER, PacketTracer
 from repro.platform import BessPlatform, OpenNetVMPlatform
-from repro.platform.base import LoadResult, PacketOutcome, Platform, PlatformConfig
+from repro.platform.base import (
+    LoadResult,
+    PacketOutcome,
+    PipelineRun,
+    Platform,
+    PlatformConfig,
+)
 from repro.scale.migration import (
     FlowMigrator,
     MigrationError,
@@ -40,7 +46,7 @@ from repro.scale.migration import (
     wire_directions,
 )
 from repro.scale.sharder import FlowSharder
-from repro.sim import Engine, Resource
+from repro.sim import Engine, Resource, analytic_replay
 
 PLATFORM_CLASSES = {"bess": BessPlatform, "onvm": OpenNetVMPlatform}
 
@@ -238,24 +244,48 @@ class ScaleCluster:
             if outcome.dropped:
                 dropped[rid] += 1
 
-        engine = Engine()
-        any_platform = next(iter(self.replicas.values())).platform
-        any_platform._attach_observer(engine)
-        core_pool = None
-        if self.physical_cores is not None:
-            core_pool = Resource(engine, capacity=self.physical_cores, name="cores")
-        runs = {
-            rid: replica.platform._spawn_pipeline(
-                engine, plans[rid], gaps[rid], core_pool=core_pool
-            )
+        # Without a shared core pool the replicas' pipelines are fully
+        # independent — each replays exactly as it would on a private
+        # engine, so when every replica's plans admit the closed-form
+        # recursion the whole cluster run does too (same per-replica
+        # numbers, one O(hops) loop each instead of a shared event loop).
+        analytic = self.physical_cores is None and all(
+            replica.platform._analytic_valid(plans[rid])
             for rid, replica in self.replicas.items()
-        }
-        engine.run()
+        )
+        if analytic:
+            runs = {}
+            for rid, replica in self.replicas.items():
+                platform = replica.platform
+                arrival_at, completions = analytic_replay(
+                    plans[rid],
+                    gaps[rid],
+                    platform._stage_count(),
+                    platform.config.ring_capacity,
+                )
+                runs[rid] = PipelineRun(
+                    rings=[], arrival_at=arrival_at, completions=completions
+                )
+        else:
+            engine = Engine()
+            any_platform = next(iter(self.replicas.values())).platform
+            any_platform._attach_observer(engine)
+            core_pool = None
+            if self.physical_cores is not None:
+                core_pool = Resource(engine, capacity=self.physical_cores, name="cores")
+            runs = {
+                rid: replica.platform._spawn_pipeline(
+                    engine, plans[rid], gaps[rid], core_pool=core_pool
+                )
+                for rid, replica in self.replicas.items()
+            }
+            engine.run()
 
         per_replica: Dict[int, LoadResult] = {}
         busy_ns: Dict[int, float] = {}
         for rid, run in runs.items():
-            self.replicas[rid].platform._publish_load_metrics(run.rings)
+            if not analytic:
+                self.replicas[rid].platform._publish_load_metrics(run.rings)
             per_replica[rid] = run.to_load_result(
                 offered=len(plans[rid]), dropped=dropped[rid]
             )

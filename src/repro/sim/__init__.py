@@ -12,6 +12,7 @@ scheduling order, every run produces identical timestamps.  Ties in event
 time are broken by insertion order.
 """
 
+from repro.sim.analytic import analytic_replay, plans_are_analytic
 from repro.sim.engine import (
     Engine,
     Event,
@@ -37,4 +38,6 @@ __all__ = [
     "SimulationError",
     "Store",
     "Timeout",
+    "analytic_replay",
+    "plans_are_analytic",
 ]

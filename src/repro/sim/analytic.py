@@ -1,0 +1,155 @@
+"""Closed-form temporal replay (the fast path of ``Platform.run_load``).
+
+The generator-based DES in :mod:`repro.sim.engine` is fully general — it
+handles shared core pools, interrupts and observer instrumentation — but
+the common benchmark configuration needs none of that: every packet's
+stage plan is fixed after the functional pass, every ring has a single
+producer and a single consumer, and service times are deterministic.
+Under those conditions the departure times obey a Lindley-style
+recursion that a plain Python loop evaluates in O(total hops), roughly
+an order of magnitude faster than driving the event loop.
+
+For one stage ``s`` with worker-available time ``avail[s]``, ring
+dequeue history ``gets[s]`` and ring capacity ``cap``, packet hops are
+replayed in source order::
+
+    enq   = ready                      if the ring has a free slot
+          = max(ready, gets[s][c-cap]) if the c-th enqueue finds it full
+    start = max(avail[s], enq)         # dequeue time at the consumer
+    ready = start + service_ns         # departure from the stage
+
+where ``ready`` starts as the packet's offered (arrival) time.  The
+producer of the hop (the source or the previous stage) is occupied until
+``enq`` — blocking-after-service, exactly like a full ``Put`` on a
+bounded :class:`~repro.sim.resources.Store`.
+
+The recursion is only valid when later packets can never influence
+earlier ones.  :func:`plans_are_analytic` checks the sufficient
+structural condition: every stage is fed by exactly one producer (the
+source or one other stage), which makes every ring single-producer /
+single-consumer and keeps enqueue order equal to source order.  Pure
+delay hops (``stage_index=None``), empty plans and anything else the
+recursion cannot express fall back to the DES.
+
+Float arithmetic deliberately mirrors the DES event loop operation for
+operation (the same additions and the same max-via-comparison), so the
+analytic replay is numerically *identical* to the engine, not merely
+close — the equivalence suite asserts exact equality.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: Pseudo stage index for the packet source in the producer-uniqueness map.
+_SOURCE = -1
+
+
+def plans_are_analytic(plans: Sequence[Sequence[Tuple[Optional[int], float]]]) -> bool:
+    """Can these stage plans be replayed with the closed-form recursion?
+
+    Requirements, checked in one pass over the hops:
+
+    - every plan is non-empty (an empty plan would route the packet
+      straight to the sink, a case only the DES models);
+    - every hop names a real stage (``None`` marks free-running delay
+      hops that spawn detached processes in the DES);
+    - no plan visits the same stage twice in a row (a self-edge would
+      make the stage its own producer);
+    - every stage is entered from exactly one predecessor across *all*
+      plans — the single-producer condition that keeps each ring FIFO in
+      source order, so no later packet can delay an earlier one.
+    """
+    producer_of: Dict[int, int] = {}
+    seen_plans: set = set()
+    for plan in plans:
+        # Steady-state plans are shared list objects (one per compiled
+        # flow); re-walking an already-validated plan cannot change the
+        # producer map, so identical plans are checked once.
+        plan_id = id(plan)
+        if plan_id in seen_plans:
+            continue
+        if not plan:
+            return False
+        seen_plans.add(plan_id)
+        previous = _SOURCE
+        for stage, __ in plan:
+            if stage is None or stage == previous:
+                return False
+            known = producer_of.get(stage)
+            if known is None:
+                producer_of[stage] = previous
+            elif known != previous:
+                return False
+            previous = stage
+    return True
+
+
+def analytic_replay(
+    plans: Sequence[Sequence[Tuple[int, float]]],
+    gaps: Sequence[float],
+    stage_count: int,
+    ring_capacity: Optional[int],
+) -> Tuple[List[float], List[Tuple[int, float]]]:
+    """Replay stage plans analytically; returns (arrival_at, completions).
+
+    Both structures match what :meth:`Platform._spawn_pipeline` collects
+    from the DES: ``arrival_at[index]`` is packet ``index``'s offered
+    time (a list here, indexed identically to the DES's dict),
+    ``completions`` pairs packet indices with their departure from the
+    last hop, sorted by finish time like the DES sink observes them
+    (engine time is monotone, so the done-store fills in finish order).
+    Simultaneous finishes keep packet order — the one tie-break the DES
+    does not guarantee, and invisible to every downstream consumer
+    (latency lists are compared as populations, never positionally
+    across replay engines at equal timestamps).
+
+    Callers must have validated the plans with :func:`plans_are_analytic`.
+    """
+    arrival_at: List[float] = []
+    offered = arrival_at.append
+    completions: List[Tuple[int, float]] = []
+    avail = [0.0] * stage_count
+    get_times: List[List[float]] = [[] for __ in range(stage_count)]
+    enqueued = [0] * stage_count
+    cap = ring_capacity
+    source_ready = 0.0
+
+    index = -1
+    for plan, gap in zip(plans, gaps):
+        index += 1
+        offer = source_ready + gap if gap > 0 else source_ready
+        offered(offer)
+        ready = offer
+        previous = _SOURCE
+        for stage, service_ns in plan:
+            gets = get_times[stage]
+            count = enqueued[stage]
+            enqueued[stage] = count + 1
+            if cap is not None and count >= cap:
+                # Ring full: the put blocks until the (count-cap)-th item
+                # is dequeued, which frees the slot at that very instant.
+                freed = gets[count - cap]
+                enq = freed if freed > ready else ready
+            else:
+                enq = ready
+            if previous < 0:
+                source_ready = enq
+            else:
+                avail[previous] = enq
+            stage_avail = avail[stage]
+            start = stage_avail if stage_avail > enq else enq
+            gets.append(start)
+            ready = start + service_ns
+            previous = stage
+        # The final Put targets the unbounded done store: never blocks.
+        avail[previous] = ready
+        completions.append((index, ready))
+    # Fast packets overtake slow ones on mixed-path pipelines; present
+    # completions in finish order exactly as the DES sink records them.
+    completions.sort(key=_finish_time)
+    return arrival_at, completions
+
+
+def _finish_time(completion: Tuple[int, float]) -> float:
+    return completion[1]

@@ -182,6 +182,8 @@ class Engine:
     the six methods qualifies.
     """
 
+    __slots__ = ("_now", "_queue", "_sequence", "_active", "observer")
+
     def __init__(self):
         self._now = 0.0
         self._queue: List[Tuple[float, int, Callable[[], None]]] = []
@@ -218,16 +220,24 @@ class Engine:
 
         Returns the final simulation time.
         """
-        while self._queue:
-            time, __, callback = self._queue[0]
-            if until is not None and time > until:
+        queue = self._queue
+        heappop = heapq.heappop
+        if until is None:
+            # Hot loop of every loaded run: no bound check, hoisted lookups.
+            while queue:
+                entry = heappop(queue)
+                self._now = entry[0]
+                entry[2]()
+            return self._now
+        while queue:
+            time = queue[0][0]
+            if time > until:
                 self._now = until
                 return self._now
-            heapq.heappop(self._queue)
+            entry = heappop(queue)
             self._now = time
-            callback()
-        if until is not None:
-            self._now = max(self._now, until)
+            entry[2]()
+        self._now = max(self._now, until)
         return self._now
 
     # -- process machinery -------------------------------------------------

@@ -27,6 +27,18 @@ class Store:
     is preserved for both items and blocked processes.
     """
 
+    __slots__ = (
+        "engine",
+        "capacity",
+        "name",
+        "_items",
+        "_blocked_putters",
+        "_blocked_getters",
+        "total_put",
+        "total_got",
+        "high_watermark",
+    )
+
     def __init__(self, engine: "Engine", capacity: Optional[int] = None, name: str = ""):
         if capacity is not None and capacity <= 0:
             raise SimulationError(f"store capacity must be positive, got {capacity!r}")
@@ -80,9 +92,11 @@ class Store:
         self._admit_putters()
 
     def _enqueue(self, item: Any) -> None:
-        self._items.append(item)
+        items = self._items
+        items.append(item)
         self.total_put += 1
-        self.high_watermark = max(self.high_watermark, len(self._items))
+        if len(items) > self.high_watermark:
+            self.high_watermark = len(items)
         observer = self.engine.observer
         if observer is not None:
             observer.store_put(self, item)
@@ -114,6 +128,8 @@ class Resource:
     A process acquires a slot with ``yield Request(resource)`` and must
     release it with ``yield resource.release()``.
     """
+
+    __slots__ = ("engine", "capacity", "name", "in_use", "_waiting", "total_grants")
 
     def __init__(self, engine: "Engine", capacity: int = 1, name: str = ""):
         if capacity <= 0:

@@ -3,7 +3,7 @@
 from repro.stats.comparison import Comparison, compare, comparison_rows
 from repro.stats.loc import InstrumentationReport, count_instrumentation, integration_table
 from repro.stats.metrics_view import render_families, render_metrics, snapshot_rows
-from repro.stats.summary import Distribution, cdf_points, percentile
+from repro.stats.summary import Distribution, cdf_points, percentile, percentile_sorted
 from repro.stats.tables import format_series, format_table
 
 __all__ = [
@@ -18,6 +18,7 @@ __all__ = [
     "format_table",
     "integration_table",
     "percentile",
+    "percentile_sorted",
     "render_families",
     "render_metrics",
     "snapshot_rows",

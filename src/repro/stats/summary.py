@@ -10,17 +10,26 @@ import math
 from typing import Dict, Iterable, List, Sequence, Tuple
 
 
-def percentile(values: Sequence[float], fraction: float) -> float:
-    """Nearest-rank percentile; ``fraction`` in [0, 1]."""
-    if not values:
+def percentile_sorted(ordered: Sequence[float], fraction: float) -> float:
+    """Nearest-rank percentile of an *already sorted* sequence.
+
+    The sort is the expensive part of a percentile query; callers that
+    cache a sorted sample (e.g. ``LoadResult``) use this entry point to
+    answer many percentile queries off one sort.
+    """
+    if not ordered:
         raise ValueError("percentile of empty sequence")
     if not 0.0 <= fraction <= 1.0:
         raise ValueError(f"fraction out of range: {fraction}")
-    ordered = sorted(values)
     if fraction == 0.0:
         return ordered[0]
     rank = math.ceil(fraction * len(ordered))
     return ordered[max(0, rank - 1)]
+
+
+def percentile(values: Sequence[float], fraction: float) -> float:
+    """Nearest-rank percentile; ``fraction`` in [0, 1]."""
+    return percentile_sorted(sorted(values), fraction)
 
 
 def cdf_points(values: Sequence[float]) -> List[Tuple[float, float]]:

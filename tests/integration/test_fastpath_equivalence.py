@@ -1,0 +1,160 @@
+"""Fast-engine equivalence: compiled flows + analytic replay vs legacy.
+
+The perf engine (``PlatformConfig(compiled_flows=True, analytic_replay=True)``,
+the default) must be *numerically invisible*: every ``LoadResult`` field —
+including the per-packet latency list, element for element — must match a
+run with both halves disabled, which reproduces the original interpreted
+execution path and the generator-based DES replay.
+
+Coverage follows the acceptance matrix: both platform models, chain
+lengths 1–9, with and without SpeedyBox, plus chains whose NFs register
+events, run SF schedules or drop packets (forcing the compiled lane to
+fall back per packet) and the gapped / trace-timestamped arrival modes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.framework import ServiceChain, SpeedyBox
+from repro.nf import (
+    DosPrevention,
+    IPFilter,
+    MaglevLoadBalancer,
+    MazuNAT,
+    Monitor,
+    TokenBucketPolicer,
+)
+from repro.platform import BessPlatform, OpenNetVMPlatform, PlatformConfig
+from repro.traffic import FlowSpec, TrafficGenerator
+from repro.traffic.generator import clone_packets
+
+LEGACY = dict(compiled_flows=False, analytic_replay=False)
+
+
+def multi_flow_packets(flows: int = 4, per_flow: int = 30):
+    specs = [
+        FlowSpec.tcp(
+            f"10.0.{index}.1",
+            "20.0.0.1",
+            4000 + index,
+            80,
+            packets=per_flow,
+            payload=b"y" * 20,
+        )
+        for index in range(flows)
+    ]
+    return TrafficGenerator(specs, interleave="round_robin").packets()
+
+
+def build_platform(platform_name, runtime, config=None):
+    kwargs = {} if config is None else {"config": config}
+    if platform_name == "onvm":
+        # Lengths past the testbed's 5-NF core budget still exercise the
+        # stage-pipeline model with the limit lifted.
+        return OpenNetVMPlatform(runtime, enforce_core_limit=False, **kwargs)
+    return BessPlatform(runtime, **kwargs)
+
+
+def assert_identical_results(fast, legacy):
+    assert fast.offered == legacy.offered
+    assert fast.delivered == legacy.delivered
+    assert fast.dropped == legacy.dropped
+    assert fast.makespan_ns == legacy.makespan_ns
+    # Exact float equality, element for element and in the same order.
+    assert fast.latencies_ns == legacy.latencies_ns
+
+
+def run_both(platform_name, runtime_factory, packets, **load_kwargs):
+    fast = build_platform(platform_name, runtime_factory())
+    fast_result = fast.run_load(clone_packets(packets), **load_kwargs)
+    legacy = build_platform(
+        platform_name, runtime_factory(), config=PlatformConfig(**LEGACY)
+    )
+    legacy_result = legacy.run_load(clone_packets(packets), **load_kwargs)
+    assert_identical_results(fast_result, legacy_result)
+    return fast_result, legacy_result
+
+
+@pytest.mark.parametrize("platform_name", ["bess", "onvm"])
+@pytest.mark.parametrize("runtime_cls", [ServiceChain, SpeedyBox])
+@pytest.mark.parametrize("length", range(1, 10))
+def test_chain_length_sweep(platform_name, runtime_cls, length):
+    packets = multi_flow_packets(flows=3, per_flow=14)
+    run_both(
+        platform_name,
+        lambda: runtime_cls([IPFilter(f"fw{i}") for i in range(length)]),
+        packets,
+    )
+
+
+EVENT_CHAINS = {
+    # Maglev registers backend-failure events; Monitor runs SF batches.
+    "maglev-monitor": lambda: [
+        MaglevLoadBalancer("maglev0", table_size=131),
+        Monitor("monitor0"),
+    ],
+    # NAT rewrites headers (non-noop consolidated action) ahead of a
+    # stateful chain tail.
+    "nat-monitor-fw": lambda: [
+        MazuNAT("nat0"),
+        Monitor("monitor0"),
+        IPFilter("fw0"),
+    ],
+    # DoS preventer flips flows to DROP mid-run (threshold crossed) and
+    # the policer drops on token exhaustion: per-packet event checks and
+    # mid-flow rule rebuilds keep knocking flows off the compiled lane.
+    "dos-policer-fw": lambda: [
+        DosPrevention("dos0", threshold=20, mode="packets"),
+        TokenBucketPolicer("policer0", rate_pps=1e6, burst=16),
+        IPFilter("fw0"),
+    ],
+}
+
+
+@pytest.mark.parametrize("platform_name", ["bess", "onvm"])
+@pytest.mark.parametrize("chain_key", sorted(EVENT_CHAINS))
+def test_event_and_drop_chains(platform_name, chain_key):
+    packets = multi_flow_packets(flows=4, per_flow=24)
+    run_both(
+        platform_name,
+        lambda: SpeedyBox(EVENT_CHAINS[chain_key]()),
+        packets,
+    )
+
+
+@pytest.mark.parametrize("platform_name", ["bess", "onvm"])
+def test_gapped_arrivals(platform_name):
+    packets = multi_flow_packets(flows=3, per_flow=20)
+    fast, __ = run_both(
+        platform_name,
+        lambda: SpeedyBox([IPFilter(f"fw{i}") for i in range(4)]),
+        packets,
+        inter_arrival_ns=137.5,
+    )
+    assert fast.offered == len(packets)
+
+
+def test_timestamped_replay():
+    packets = multi_flow_packets(flows=2, per_flow=16)
+    for index, packet in enumerate(packets):
+        packet.timestamp_ns = index * 211.25
+    run_both(
+        "bess",
+        lambda: SpeedyBox([IPFilter(f"fw{i}") for i in range(3)]),
+        packets,
+        use_timestamps=True,
+    )
+
+
+def test_fin_teardown_flows():
+    """Closing flows exercise the compiled lane's FIN fallback + teardown."""
+    specs = [
+        FlowSpec.tcp(
+            "10.1.0.1", "20.0.0.1", 5000 + i, 80,
+            packets=12, payload=b"z" * 8, handshake=True, fin=True,
+        )
+        for i in range(3)
+    ]
+    packets = TrafficGenerator(specs, interleave="round_robin").packets()
+    run_both("bess", lambda: SpeedyBox([IPFilter("fw0"), Monitor("mon0")]), packets)

@@ -123,6 +123,25 @@ class TestSweepCommand:
         assert "\n6 " not in out  # rows stop at 5
 
 
+class TestProfileFlag:
+    def test_sweep_profile_prints_report(self, capsys):
+        assert main(["sweep", "--max-length", "2", "--flows", "3", "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "chain length" in out  # the command still ran
+        assert "top 30 by cumulative time" in out
+        assert "cumtime" in out
+
+    def test_demo_profile_out_writes_stats(self, tmp_path, capsys):
+        import pstats
+
+        path = str(tmp_path / "demo.prof")
+        assert main(["demo", "--flows", "4", "--profile-out", path]) == 0
+        out = capsys.readouterr().out
+        assert f"wrote raw profile stats to {path}" in out
+        stats = pstats.Stats(path)
+        assert stats.total_calls > 0
+
+
 class TestTraceCommand:
     def test_generate_and_inspect(self, tmp_path, capsys):
         path = str(tmp_path / "t.sbtr")
