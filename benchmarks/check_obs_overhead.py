@@ -1,0 +1,94 @@
+"""CI perf gate: span sampling must stay cheap on the fast path.
+
+Usage::
+
+    python benchmarks/check_obs_overhead.py BENCH_obs_overhead.json \
+        [--threshold 0.05]
+
+The observability contract is that the production span config
+(1-in-64 flow sampling, default per-flow cap) rides on the compiled
+fast path for free: unsampled flows pay one dict probe per packet.
+``benchmarks/test_obs_overhead.py`` measures the uninstrumented and
+sampled runs back to back on the same machine, so the recorded
+``sampled_overhead`` ratio is machine-independent and can be checked
+directly — no baseline normalisation needed.  A run fails when the
+sampled overhead exceeds the threshold (default 5%), when sampling
+degenerated (no flows sampled, or full-capture recorded no more spans
+than sampled), or when required metrics are missing.  Exit code 1 on
+any failure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+
+
+REQUIRED = (
+    "off_s",
+    "sampled_s",
+    "sampled_overhead",
+    "sampled_flows_sampled",
+    "sampled_spans",
+    "full_spans",
+)
+
+
+def load_metrics(path: str) -> dict:
+    with open(path) as handle:
+        payload = json.load(handle)
+    return payload["metrics"]
+
+
+def check(metrics: dict, threshold: float) -> int:
+    failures = 0
+    missing = [key for key in REQUIRED if key not in metrics]
+    if missing:
+        print(f"FAIL missing metrics: {', '.join(missing)}")
+        return 1
+    overhead = metrics["sampled_overhead"]
+    status = "ok" if overhead <= threshold else "FAIL"
+    print(
+        f"{status:4s} sampled overhead: {100 * overhead:+.1f}% "
+        f"(off {metrics['off_s']:.3f}s, sampled {metrics['sampled_s']:.3f}s, "
+        f"budget {100 * threshold:.0f}%)"
+    )
+    if overhead > threshold:
+        failures += 1
+    if metrics["sampled_flows_sampled"] < 1:
+        print("FAIL sampling degenerated: no flows were sampled")
+        failures += 1
+    else:
+        print(
+            f"ok   sampling live: {metrics['sampled_flows_sampled']:.0f} flows, "
+            f"{metrics['sampled_spans']:.0f} spans recorded"
+        )
+    if metrics["full_spans"] <= metrics["sampled_spans"]:
+        print(
+            "FAIL full capture recorded no more spans than sampled "
+            f"({metrics['full_spans']:.0f} vs {metrics['sampled_spans']:.0f})"
+        )
+        failures += 1
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("current", help="freshly measured BENCH_obs_overhead.json")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.05,
+        help="allowed fractional overhead for 1-in-64 sampling (default 0.05)",
+    )
+    args = parser.parse_args(argv)
+    failures = check(load_metrics(args.current), args.threshold)
+    if failures:
+        print(f"{failures} check(s) failed the obs overhead gate")
+        return 1
+    print("obs overhead gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

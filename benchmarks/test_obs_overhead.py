@@ -1,0 +1,130 @@
+"""Span-sampling overhead benchmark (the observability perf gate).
+
+The flow-span recorder's contract is that production-grade sampling
+(1 in 64 flows, default per-flow cap) rides on the fast engine — the
+compiled flow closures and the analytic replay stay enabled, and the
+per-packet cost for an unsampled flow is one dict probe.  This
+benchmark measures the Figure-8 worst case (BESS, 9-NF IPFilter chain)
+over many-flow traffic three ways:
+
+- ``off``       — no recorder attached (the uninstrumented fast path);
+- ``sampled``   — ``FlowSpanRecorder(every=64)``, the production config;
+- ``full``      — ``every=1`` with no per-flow cap (every packet, the
+  exact-attribution configuration the integration tests use).
+
+Best-of-``REPEATS`` wall-clock for each lands in
+``BENCH_obs_overhead.json``; the gate asserts the sampled run costs at
+most ``MAX_SAMPLED_OVERHEAD`` (5 %) over the uninstrumented run, and
+``benchmarks/check_obs_overhead.py`` re-checks the committed JSON in CI.
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchmarks.harness import make_platform, save_result
+from repro.core.framework import SpeedyBox
+from repro.nf import IPFilter
+from repro.obs import FlowSpanRecorder
+from repro.traffic import FlowSpec, TrafficGenerator
+from repro.traffic.generator import clone_packets
+
+FLOWS = 256
+PACKETS_PER_FLOW = 200
+REPEATS = 5
+CHAIN_LENGTH = 9
+MAX_SAMPLED_OVERHEAD = 0.05
+
+
+def build_chain():
+    return [IPFilter(f"ipfilter{i}") for i in range(CHAIN_LENGTH)]
+
+
+def many_flow_packets():
+    """256 interleaved flows, so 1-in-64 sampling is non-degenerate."""
+    specs = [
+        FlowSpec.tcp(
+            f"10.{index // 250}.{index % 250}.1",
+            "20.0.0.1",
+            2000 + index,
+            80,
+            packets=PACKETS_PER_FLOW,
+            payload=b"x" * 26,
+        )
+        for index in range(FLOWS)
+    ]
+    return TrafficGenerator(specs, interleave="round_robin").packets()
+
+
+def timed_run(packets, recorder):
+    platform = make_platform("bess", SpeedyBox(build_chain()), spans=recorder)
+    clones = clone_packets(packets)
+    started = time.perf_counter()
+    result = platform.run_load(clones)
+    seconds = time.perf_counter() - started
+    assert result.delivered == len(packets)
+    return seconds
+
+
+def run_overhead():
+    packets = many_flow_packets()
+    modes = {
+        "off": lambda: None,
+        "sampled": lambda: FlowSpanRecorder(every=64),
+        "full": lambda: FlowSpanRecorder(every=1, max_spans_per_flow=None),
+    }
+    seconds = {}
+    recorders = {}
+    for mode, factory in modes.items():
+        best = float("inf")
+        for __ in range(REPEATS):
+            recorder = factory()
+            best = min(best, timed_run(packets, recorder))
+            recorders[mode] = recorder
+        seconds[mode] = best
+    total_packets = len(packets)
+    sampled_summary = recorders["sampled"].summary()
+    full_summary = recorders["full"].summary()
+    return {
+        "packets": float(total_packets),
+        "flows": float(FLOWS),
+        "off_s": seconds["off"],
+        "sampled_s": seconds["sampled"],
+        "full_s": seconds["full"],
+        "sampled_overhead": seconds["sampled"] / seconds["off"] - 1.0,
+        "full_overhead": seconds["full"] / seconds["off"] - 1.0,
+        "off_ns_per_packet": seconds["off"] * 1e9 / total_packets,
+        "sampled_ns_per_packet": seconds["sampled"] * 1e9 / total_packets,
+        "sampled_flows_sampled": float(sampled_summary["flows_sampled"]),
+        "sampled_spans": float(sampled_summary["spans"]),
+        "full_spans": float(full_summary["spans"]),
+    }
+
+
+def _report(metrics):
+    text = (
+        f"fig8 bess 9xIPFilter, {FLOWS} flows x {PACKETS_PER_FLOW} packets, "
+        f"best of {REPEATS}:\n"
+        f"off     : {metrics['off_s']:.3f}s "
+        f"({metrics['off_ns_per_packet']:.0f} ns/pkt)\n"
+        f"sampled : {metrics['sampled_s']:.3f}s "
+        f"(1-in-64, {metrics['sampled_flows_sampled']:.0f} flows, "
+        f"{metrics['sampled_spans']:.0f} spans, "
+        f"overhead {100 * metrics['sampled_overhead']:+.1f}%)\n"
+        f"full    : {metrics['full_s']:.3f}s "
+        f"(every packet, {metrics['full_spans']:.0f} spans, "
+        f"overhead {100 * metrics['full_overhead']:+.1f}%)"
+    )
+    save_result("obs_overhead", text, metrics=metrics)
+
+
+def test_obs_overhead(benchmark):
+    metrics = benchmark.pedantic(run_overhead, rounds=1, iterations=1)
+    _report(metrics)
+    assert metrics["sampled_flows_sampled"] == FLOWS / 64
+    assert metrics["full_spans"] > metrics["sampled_spans"]
+    assert metrics["sampled_overhead"] <= MAX_SAMPLED_OVERHEAD, (
+        f"1-in-64 span sampling costs {100 * metrics['sampled_overhead']:.1f}% "
+        f"over the uninstrumented fast path "
+        f"(budget {100 * MAX_SAMPLED_OVERHEAD:.0f}%)"
+    )

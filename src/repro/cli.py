@@ -18,6 +18,12 @@ Commands
     Generate a synthetic datacenter trace to a ``.sbtr`` file, or print a
     summary of an existing one.
 
+``obs report``
+    Render a text dashboard (top flows by latency, SLO attainment, cycle
+    attribution, audit summary, metrics) from the artifacts another
+    command wrote via ``--metrics-json``/``--metrics-prom``,
+    ``--span-out`` and ``--audit-out``.
+
 Chain specs are comma-separated NF names, e.g. ``--chain
 nat,maglev,monitor,firewall``.  Each name may repeat; instances are
 numbered.  Run ``python -m repro demo --list-nfs`` to see the catalogue.
@@ -27,6 +33,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
 from repro.core.framework import ServiceChain, SpeedyBox
@@ -46,7 +53,15 @@ from repro.nf import (
     VxlanTerminator,
 )
 from repro.nf.base import NetworkFunction
-from repro.obs import MetricsRegistry, NULL_REGISTRY, NULL_TRACER, PacketTracer
+from repro.obs import (
+    AuditLog,
+    FlowSpanRecorder,
+    MetricsRegistry,
+    NULL_AUDIT,
+    NULL_REGISTRY,
+    NULL_TRACER,
+    PacketTracer,
+)
 from repro.platform import BessPlatform, OpenNetVMPlatform
 from repro.stats import Distribution, format_table
 from repro.traffic import DatacenterTraceConfig, DatacenterTraceGenerator, TrafficGenerator
@@ -89,25 +104,51 @@ def build_chain(spec: str) -> List[NetworkFunction]:
     return nfs
 
 
-def build_platform(name: str, runtime, metrics=NULL_REGISTRY, tracer=NULL_TRACER):
+def build_platform(name: str, runtime, metrics=NULL_REGISTRY, tracer=NULL_TRACER, spans=None):
     if name == "bess":
-        return BessPlatform(runtime, metrics=metrics, tracer=tracer)
+        return BessPlatform(runtime, metrics=metrics, tracer=tracer, spans=spans)
     if name == "onvm":
-        return OpenNetVMPlatform(runtime, metrics=metrics, tracer=tracer)
+        return OpenNetVMPlatform(runtime, metrics=metrics, tracer=tracer, spans=spans)
     raise SystemExit(f"unknown platform {name!r} (bess|onvm)")
 
 
-def make_observability(args):
-    """Registry + tracer for a command, real only when a flag asks for them."""
-    metrics = MetricsRegistry() if getattr(args, "metrics_json", None) else NULL_REGISTRY
+@dataclass
+class ObsBundle:
+    """The observability surfaces one command run shares."""
+
+    metrics: MetricsRegistry = NULL_REGISTRY
+    tracer: PacketTracer = NULL_TRACER
+    audit: AuditLog = NULL_AUDIT
+    spans: Optional[FlowSpanRecorder] = None
+
+    def speedybox_kwargs(self) -> dict:
+        """Keyword arguments for a SpeedyBox runtime built from this bundle."""
+        return {"metrics": self.metrics, "audit": self.audit}
+
+
+def make_observability(args) -> ObsBundle:
+    """The observability bundle, each surface real only when a flag asks.
+
+    ``--metrics-json``/``--metrics-prom`` enable the registry,
+    ``--trace-out`` the packet tracer, ``--audit-out`` the decision audit
+    log, and ``--span-out`` the 1-in-N flow span sampler (ratio from
+    ``--span-every``).
+    """
+    want_metrics = getattr(args, "metrics_json", None) or getattr(args, "metrics_prom", None)
+    metrics = MetricsRegistry() if want_metrics else NULL_REGISTRY
     tracer = PacketTracer() if getattr(args, "trace_out", None) else NULL_TRACER
-    return metrics, tracer
+    audit = AuditLog() if getattr(args, "audit_out", None) else NULL_AUDIT
+    spans = None
+    if getattr(args, "span_out", None):
+        spans = FlowSpanRecorder(every=max(1, getattr(args, "span_every", 64)))
+    return ObsBundle(metrics=metrics, tracer=tracer, audit=audit, spans=spans)
 
 
-def emit_observability(args, metrics: MetricsRegistry, tracer: PacketTracer) -> None:
-    """Write --metrics-json / --trace-out outputs after a command ran."""
+def emit_observability(args, obs: ObsBundle) -> None:
+    """Write the artifact files the command's observability flags asked for."""
     import json
 
+    metrics, tracer, audit, spans = obs.metrics, obs.tracer, obs.audit, obs.spans
     if getattr(args, "metrics_json", None):
         payload = json.dumps(metrics.snapshot(), indent=2, sort_keys=True)
         if args.metrics_json == "-":
@@ -116,7 +157,26 @@ def emit_observability(args, metrics: MetricsRegistry, tracer: PacketTracer) -> 
             with open(args.metrics_json, "w") as handle:
                 handle.write(payload + "\n")
             print(f"wrote {len(metrics.snapshot())} metric series to {args.metrics_json}")
+    if getattr(args, "metrics_prom", None):
+        from repro.obs import render_prometheus, write_prometheus
+
+        if args.metrics_prom == "-":
+            print(render_prometheus(metrics), end="")
+        else:
+            count = write_prometheus(metrics, args.metrics_prom)
+            print(f"wrote {count} Prometheus samples to {args.metrics_prom}")
+    if getattr(args, "audit_out", None):
+        count = audit.write_jsonl(args.audit_out)
+        print(f"wrote {count} audit events to {args.audit_out}")
+    if spans is not None and getattr(args, "span_out", None):
+        count = spans.write_jsonl(args.span_out)
+        summary = spans.summary()
+        print(f"wrote {count} flow spans to {args.span_out} "
+              f"(1-in-{spans.every}: {summary['flows_sampled']}/{summary['flows_seen']} "
+              f"flows, {summary['packets_sampled']} packets)")
     if getattr(args, "trace_out", None):
+        if spans is not None:
+            spans.replay_into(tracer)
         count = tracer.write_chrome(args.trace_out)
         print(f"wrote {count} trace events to {args.trace_out} "
               f"(open in chrome://tracing or ui.perfetto.dev)")
@@ -148,18 +208,23 @@ def cmd_demo(args: argparse.Namespace) -> int:
     packets = make_trace_packets(args.flows, args.seed)
     print(f"chain: {args.chain}   platform: {args.platform}   packets: {len(packets)}")
 
-    metrics, tracer = make_observability(args)
+    obs = make_observability(args)
     rows = []
     variants = [("original", ServiceChain)]
     if not args.no_speedybox:
         variants.append(("speedybox", SpeedyBox))
     results = {}
     for label, runtime_cls in variants:
+        if runtime_cls is SpeedyBox:
+            runtime = SpeedyBox(build_chain(args.chain), **obs.speedybox_kwargs())
+        else:
+            runtime = ServiceChain(build_chain(args.chain), metrics=obs.metrics)
         platform = build_platform(
             args.platform,
-            runtime_cls(build_chain(args.chain), metrics=metrics),
-            metrics=metrics,
-            tracer=tracer,
+            runtime,
+            metrics=obs.metrics,
+            tracer=obs.tracer,
+            spans=obs.spans,
         )
         latency = Distribution()
         dropped = 0
@@ -184,7 +249,7 @@ def cmd_demo(args: argparse.Namespace) -> int:
     if "speedybox" in results:
         reduction = 100 * (1 - results["speedybox"].p50 / results["original"].p50)
         print(f"\np50 latency reduction: {reduction:.1f}%")
-    emit_observability(args, metrics, tracer)
+    emit_observability(args, obs)
     if args.dump_rules and not args.no_speedybox:
         # Re-run once to leave the runtime populated, then dump its MAT.
         # FIN packets are withheld so the rules survive for inspection.
@@ -205,15 +270,19 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     max_len = args.max_length
     if args.platform == "onvm":
         max_len = min(max_len, OpenNetVMPlatform.MAX_CHAIN_LENGTH)
-    metrics, tracer = make_observability(args)
+    obs = make_observability(args)
     rows = []
     for n in range(1, max_len + 1):
         row = [n]
         for runtime_cls in (ServiceChain, SpeedyBox):
             chain = [IPFilter(f"fw{i}") for i in range(n)]
+            if runtime_cls is SpeedyBox:
+                runtime = SpeedyBox(chain, **obs.speedybox_kwargs())
+            else:
+                runtime = ServiceChain(chain, metrics=obs.metrics)
             platform = build_platform(
-                args.platform, runtime_cls(chain, metrics=metrics),
-                metrics=metrics, tracer=tracer,
+                args.platform, runtime,
+                metrics=obs.metrics, tracer=obs.tracer, spans=obs.spans,
             )
             outcomes = platform.process_all(clone_packets(packets))
             latency = Distribution([o.latency_us for o in outcomes])
@@ -224,7 +293,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         rows,
         title=f"latency vs chain length on {args.platform}",
     ))
-    emit_observability(args, metrics, tracer)
+    emit_observability(args, obs)
     return 0
 
 
@@ -256,7 +325,7 @@ def cmd_scale(args: argparse.Namespace) -> int:
     from repro.scale import ScaleCluster
 
     packets = make_trace_packets(args.flows, args.seed)
-    metrics, tracer = make_observability(args)
+    obs = make_observability(args)
     platforms = [name.strip() for name in args.platforms.split(",") if name.strip()]
     rows = []
     for platform_name in platforms:
@@ -268,8 +337,10 @@ def cmd_scale(args: argparse.Namespace) -> int:
                 replicas=count,
                 speedybox=not args.no_speedybox,
                 physical_cores=args.physical_cores,
-                metrics=metrics,
-                tracer=tracer,
+                metrics=obs.metrics,
+                tracer=obs.tracer,
+                audit=obs.audit,
+                spans=obs.spans,
             )
             migrations = 0
             if args.churn:
@@ -312,7 +383,31 @@ def cmd_scale(args: argparse.Namespace) -> int:
         rows,
         title=f"replica sweep over chain {args.chain}",
     ))
-    emit_observability(args, metrics, tracer)
+    emit_observability(args, obs)
+    return 0
+
+
+def cmd_obs(args: argparse.Namespace) -> int:
+    from repro.obs.report import load_jsonl, load_metrics, render_report
+
+    if args.action != "report":  # argparse choices guard; belt and braces
+        print(f"unknown obs action {args.action!r}", file=sys.stderr)
+        return 2
+    if not (args.metrics or args.spans or args.audit):
+        print("obs report: pass at least one of --metrics, --spans, --audit",
+              file=sys.stderr)
+        return 2
+    metrics = load_metrics(args.metrics) if args.metrics else None
+    spans = load_jsonl(args.spans) if args.spans else None
+    audit = load_jsonl(args.audit) if args.audit else None
+    print(render_report(
+        metrics=metrics,
+        spans=spans,
+        audit=audit,
+        slo_us=args.slo_us,
+        percentile=args.percentile,
+        top=args.top,
+    ))
     return 0
 
 
@@ -384,6 +479,30 @@ def make_parser() -> argparse.ArgumentParser:
             help="enable the packet-path tracer and write a Chrome trace-event "
                  "file (opens in chrome://tracing / Perfetto)",
         )
+        p.add_argument(
+            "--metrics-prom",
+            metavar="PATH",
+            help="enable the metrics registry and write a Prometheus "
+                 "text-format exposition ('-' prints to stdout)",
+        )
+        p.add_argument(
+            "--audit-out",
+            metavar="PATH",
+            help="enable the decision audit log and write it as JSON lines",
+        )
+        p.add_argument(
+            "--span-out",
+            metavar="PATH",
+            help="enable the sampled per-flow span recorder and write its "
+                 "spans as JSON lines",
+        )
+        p.add_argument(
+            "--span-every",
+            type=int,
+            default=64,
+            metavar="N",
+            help="sample 1 in N flows for spans (default 64; 1 = every flow)",
+        )
 
     demo = sub.add_parser("demo", help="run a chain with and without SpeedyBox")
     demo.add_argument("--chain", default="nat,monitor,firewall")
@@ -445,6 +564,22 @@ def make_parser() -> argparse.ArgumentParser:
     common(scale)
     observability(scale)
     scale.set_defaults(func=cmd_scale)
+
+    obs = sub.add_parser(
+        "obs", help="render observability artifacts (spans, audit, metrics)"
+    )
+    obs.add_argument("action", choices=["report"], help="what to render")
+    obs.add_argument("--metrics", metavar="PATH",
+                     help="metrics snapshot (JSON) or Prometheus text file")
+    obs.add_argument("--spans", metavar="PATH", help="flow-span JSONL file")
+    obs.add_argument("--audit", metavar="PATH", help="audit-event JSONL file")
+    obs.add_argument("--slo-us", type=float, default=None, metavar="US",
+                     help="latency SLO in microseconds for the attainment section")
+    obs.add_argument("--percentile", type=float, default=0.99,
+                     help="SLO percentile (default 0.99)")
+    obs.add_argument("--top", type=int, default=5,
+                     help="rows in the top-flows table (default 5)")
+    obs.set_defaults(func=cmd_obs)
 
     trace = sub.add_parser("trace", help="generate, inspect or convert .sbtr traces")
     trace.add_argument("--generate", metavar="PATH")

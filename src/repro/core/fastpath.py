@@ -35,6 +35,19 @@ interpreted path) whenever the closure's assumptions no longer hold:
 The shared fixed meter is immutable by convention — consumers read it
 (``cycles`` is memoized per cost model); nothing on the fast lane writes
 to it after compilation.
+
+Metric-parity contract: when a registry is attached, a compiled run
+increments *exactly* the counters the interpreted fast path would —
+classifier classifications, Global MAT hits, fast/path/drop counters —
+so ``registry.snapshot()`` is identical whichever lane served the run
+(pinned by ``tests/unit/test_fastpath_metric_parity.py``).  The closure
+binds the real bound-``inc`` methods at compile time when metrics are
+on and ``None`` when they are off (``SpeedyBox`` hands one registry to
+every component, so the group guard on ``speedybox._m_fast`` covers
+them all).  Corollary for new instrumentation: per-lane signals that
+only one lane could emit (compile/invalidate bookkeeping, lane-hit
+tallies) must go to the :class:`~repro.obs.audit.AuditLog`, never to
+registry counters, or parity breaks.
 """
 
 from __future__ import annotations

@@ -38,6 +38,7 @@ from repro.core.local_mat import InstrumentationAPI, LocalMAT, LocalRule, NullIn
 from repro.net.flow import FiveTuple
 from repro.net.packet import Packet
 from repro.nf.base import NetworkFunction
+from repro.obs.audit import AuditLog, NULL_AUDIT
 from repro.obs.registry import MetricsRegistry, NULL_REGISTRY
 from repro.platform.costs import CycleMeter, NULL_METER as _NULL_API_METER, Operation
 
@@ -196,6 +197,7 @@ class SpeedyBox:
         max_flows: Optional[int] = None,
         metrics: MetricsRegistry = NULL_REGISTRY,
         compile_fast_path: bool = True,
+        audit: AuditLog = NULL_AUDIT,
     ):
         if not nfs:
             raise ValueError("SpeedyBox needs at least one NF")
@@ -205,6 +207,7 @@ class SpeedyBox:
         self.enable_consolidation = enable_consolidation
         self.max_flows = max_flows
         self.metrics = metrics
+        self.audit = audit
         #: compiled steady-state fast lanes (repro.core.fastpath), keyed
         #: by *five-tuple* so the per-packet dispatch is one dict probe on
         #: a plain header tuple — no FID hash, no FiveTuple allocation —
@@ -222,6 +225,7 @@ class SpeedyBox:
             capacity=max_flows,
             on_evict=self._on_rule_evicted,
             metrics=metrics,
+            audit=audit,
         )
         self.local_mats: Dict[str, LocalMAT] = {
             nf.name: LocalMAT(nf.name, self.event_table) for nf in nfs
@@ -340,15 +344,24 @@ class SpeedyBox:
                 self._compiled.pop(key, None)
             self._compiled[flow.five_tuple] = flow
             self._compiled_fids[fid] = flow.five_tuple
+            self.audit.emit(
+                "fastpath_compile",
+                fid=fid,
+                version=rule.version,
+                waves=rule.schedule.wave_count,
+                drop=rule.consolidated.drop,
+            )
         elif key is not None:
             self._compiled.pop(key, None)
             del self._compiled_fids[fid]
+            self.audit.emit("fastpath_invalidate", fid=fid, reason="uncompilable")
 
-    def _invalidate_compiled(self, fid: int) -> None:
+    def _invalidate_compiled(self, fid: int, reason: str = "invalidated") -> None:
         """Drop a flow's compiled fast lane (rule or entry went away)."""
         key = self._compiled_fids.pop(fid, None)
         if key is not None:
             self._compiled.pop(key, None)
+            self.audit.emit("fastpath_invalidate", fid=fid, reason=reason)
 
     # -- original path with recording ---------------------------------------
 
@@ -526,7 +539,7 @@ class SpeedyBox:
         packet counts) survives; the flow's next packet takes the
         original path and re-consolidates.
         """
-        self._invalidate_compiled(fid)
+        self._invalidate_compiled(fid, reason="rule_evicted")
         for local_mat in self.local_mats.values():
             local_mat.delete_flow(fid)
         self.event_table.clear_flow(fid)
@@ -535,7 +548,7 @@ class SpeedyBox:
         """FIN/RST cleanup across every table (§VI-B)."""
         if meter is not None:
             meter.charge(Operation.FLOW_DELETE)
-        self._invalidate_compiled(fid)
+        self._invalidate_compiled(fid, reason="flow_delete")
         self.global_mat.delete_flow(fid)
         for local_mat in self.local_mats.values():
             local_mat.delete_flow(fid)
@@ -552,7 +565,7 @@ class SpeedyBox:
         in the returned record still reference *this* runtime's NFs — the
         migrator must rebind them before :meth:`import_flow` on a target.
         """
-        self._invalidate_compiled(fid)
+        self._invalidate_compiled(fid, reason="flow_export")
         entry = self.classifier.export_flow(fid)
         if entry is None:
             return None
@@ -571,7 +584,7 @@ class SpeedyBox:
         Handlers must already be rebound to this runtime's NF instances;
         NF-internal state (``record.nf_state``) is the migrator's job.
         """
-        self._invalidate_compiled(record.fid)
+        self._invalidate_compiled(record.fid, reason="flow_import")
         if record.classifier_entry is not None:
             self.classifier.import_flow(record.classifier_entry)
         for name, rule in record.local_rules.items():
@@ -592,6 +605,7 @@ class SpeedyBox:
             capacity=self.max_flows,
             on_evict=self._on_rule_evicted,
             metrics=self.metrics,
+            audit=self.audit,
         )
         self.local_mats = {nf.name: LocalMAT(nf.name, self.event_table) for nf in self.nfs}
         self.apis = {

@@ -24,6 +24,7 @@ from repro.core.consolidation import ConsolidatedAction, consolidate_header_acti
 from repro.core.local_mat import LocalRule
 from repro.core.parallel import ParallelSchedule, build_schedule
 from repro.core.state_function import StateFunctionBatch
+from repro.obs.audit import AuditLog, NULL_AUDIT
 from repro.obs.registry import MetricsRegistry, NULL_REGISTRY
 
 
@@ -91,12 +92,14 @@ class GlobalMAT:
         capacity: Optional[int] = None,
         on_evict: Optional[Callable[[int], None]] = None,
         metrics: MetricsRegistry = NULL_REGISTRY,
+        audit: AuditLog = NULL_AUDIT,
     ):
         if capacity is not None and capacity <= 0:
             raise ValueError(f"capacity must be positive, got {capacity!r}")
         self.enable_parallelism = enable_parallelism
         self.capacity = capacity
         self.on_evict = on_evict
+        self.audit = audit
         self._rules: "OrderedDict[int, GlobalRule]" = OrderedDict()
         self.consolidations = 0
         self.reconsolidations = 0
@@ -194,6 +197,13 @@ class GlobalMAT:
             self._m_reconsolidations.inc()
         self.consolidations += 1
         self._m_consolidations.inc()
+        self.audit.emit(
+            "global_mat_rebuild" if existing is not None else "global_mat_insert",
+            fid=fid,
+            version=new_rule.version,
+            waves=schedule.wave_count,
+            drop=new_rule.consolidated.drop,
+        )
         self._rules[fid] = new_rule
         self._rules.move_to_end(fid)
         self._enforce_capacity(keep_fid=fid)
@@ -212,6 +222,7 @@ class GlobalMAT:
             del self._rules[victim_fid]
             self.evictions += 1
             self._m_evictions.inc()
+            self.audit.emit("global_mat_evict", fid=victim_fid)
             if self.on_evict is not None:
                 self.on_evict(victim_fid)
 

@@ -22,12 +22,15 @@ disabled, instrumented code paths cost one no-op method call and the
 simulated cycle outputs are bit-identical to an uninstrumented build.
 """
 
+from repro.obs.attribution import STAGE_ORDER, CycleAttribution, stage_of
+from repro.obs.audit import AuditLog, NULL_AUDIT, load_audit_jsonl, summarize_events
 from repro.obs.hooks import (
     CountingObserver,
     EngineObserver,
     FanoutObserver,
     TracingObserver,
 )
+from repro.obs.promexport import parse_prometheus, render_prometheus, write_prometheus
 from repro.obs.registry import (
     Counter,
     DEFAULT_BUCKETS,
@@ -36,22 +39,37 @@ from repro.obs.registry import (
     MetricsRegistry,
     NULL_REGISTRY,
 )
+from repro.obs.report import render_report
+from repro.obs.span import FlowSpanRecorder, load_span_jsonl
 from repro.obs.timeline import trace_unloaded
 from repro.obs.trace import NULL_TRACER, PacketTracer, Span
 
 __all__ = [
+    "AuditLog",
     "Counter",
     "CountingObserver",
+    "CycleAttribution",
     "DEFAULT_BUCKETS",
     "EngineObserver",
     "FanoutObserver",
+    "FlowSpanRecorder",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "NULL_AUDIT",
     "NULL_REGISTRY",
     "NULL_TRACER",
     "PacketTracer",
+    "STAGE_ORDER",
     "Span",
     "TracingObserver",
+    "load_audit_jsonl",
+    "load_span_jsonl",
+    "parse_prometheus",
+    "render_prometheus",
+    "render_report",
+    "stage_of",
+    "summarize_events",
     "trace_unloaded",
+    "write_prometheus",
 ]

@@ -1,0 +1,295 @@
+"""Cycle attribution: CycleMeter charges folded into a latency budget.
+
+The paper's Fig. 7 answers one question — *where do the cycles go per
+packet* as chains consolidate.  :class:`CycleAttribution` is that view
+live over any run: every :class:`~repro.core.framework.ProcessReport`
+is ingested and its meter charges are bucketed three ways:
+
+- **per stage** — the fixed meter's operations grouped by pipeline
+  stage (classify → MAT lookup → dispatch → header action → record /
+  consolidate → events → teardown → emit) via :func:`stage_of`;
+- **per NF** — the slow path's chain hops (``nf_meters``) and the fast
+  path's state-function batches (``sf_waves``), keyed by NF name;
+- **per chain** — one total per ``chain`` label, so a sweep over
+  several chains/platforms keeps their budgets side by side.
+
+Exactness contract
+------------------
+
+Attribution is accumulated as raw *operation counts* and converted to
+cycles once per bucket, with buckets and operations visited in a fixed
+sorted order.  With integer-valued operation costs (every default cost
+the fig8 chains exercise is an integer) the bucket totals and their sum
+are exact IEEE-754 integers, so :meth:`CycleAttribution.total_cycles`
+equals the run's summed ``report.total_meter().cycles(model)`` *exactly*
+— the integration suite asserts ``==``, not ``approx``.  The same stage
+mapping drives :mod:`repro.obs.span`, so a run's flow spans partition
+the identical totals.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Tuple
+
+from repro.platform.costs import CostModel, CycleMeter, Operation
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from repro.core.framework import ProcessReport
+
+#: Canonical stage order for rendering and span layout (chain order of
+#: the per-packet walkthrough; "other" collects unmapped operations).
+STAGE_ORDER: Tuple[str, ...] = (
+    "classify",
+    "mat_lookup",
+    "dispatch",
+    "header_action",
+    "record",
+    "consolidate",
+    "events",
+    "teardown",
+    "emit",
+    "transport",
+    "other",
+)
+
+_STAGE_OF: Dict[Operation, str] = {
+    # packet ingestion: parse, FID hash, classifier bookkeeping
+    Operation.PARSE: "classify",
+    Operation.FID_HASH: "classify",
+    Operation.METADATA_ATTACH: "classify",
+    Operation.EXACT_MATCH_LOOKUP: "classify",
+    Operation.GLOBAL_MAT_LOOKUP: "mat_lookup",
+    Operation.FAST_PATH_DISPATCH: "dispatch",
+    # consolidated header action (or its raw-ablation equivalents)
+    Operation.FIELD_WRITE: "header_action",
+    Operation.MERGED_FIELD_WRITE: "header_action",
+    Operation.CHECKSUM_UPDATE: "header_action",
+    Operation.ENCAP_OP: "header_action",
+    Operation.DECAP_OP: "header_action",
+    Operation.DROP_FREE: "header_action",
+    # original-path recording and Global MAT consolidation
+    Operation.MAT_BEGIN_RECORD: "record",
+    Operation.MAT_RECORD_HA: "record",
+    Operation.MAT_RECORD_SF: "record",
+    Operation.CONSOLIDATE_ACTION: "consolidate",
+    Operation.GLOBAL_RULE_INSTALL: "consolidate",
+    Operation.EVENT_REGISTER: "events",
+    Operation.EVENT_CHECK: "events",
+    Operation.FLOW_DELETE: "teardown",
+    Operation.METADATA_DETACH: "emit",
+    # platform transport charges (only appear in NF/transport meters)
+    Operation.NIC_RX: "transport",
+    Operation.NIC_TX: "transport",
+    Operation.NF_DISPATCH: "transport",
+    Operation.RING_ENQUEUE: "transport",
+    Operation.RING_DEQUEUE: "transport",
+    Operation.CROSS_CORE_SYNC: "transport",
+}
+
+
+def stage_of(operation: Operation) -> str:
+    """The pipeline stage an operation's cycles are attributed to."""
+    return _STAGE_OF.get(operation, "other")
+
+
+class _Bucket:
+    """Operation counts plus direct cycles for one attribution key."""
+
+    __slots__ = ("counts", "direct_cycles")
+
+    def __init__(self):
+        self.counts: Dict[Operation, float] = {}
+        self.direct_cycles = 0.0
+
+    def add_meter(self, meter: CycleMeter) -> None:
+        counts = self.counts
+        for operation, times in meter.counts.items():
+            counts[operation] = counts.get(operation, 0.0) + times
+        self.direct_cycles += meter.direct_cycles
+
+    def cycles(self, model: CostModel) -> float:
+        table = model.op_cycles
+        total = self.direct_cycles
+        # Sorted by operation name: a deterministic summation order, so
+        # two runs ingesting the same reports agree bit for bit.
+        for operation in sorted(self.counts, key=lambda op: op.value):
+            total += table[operation] * self.counts[operation]
+        return total
+
+
+class CycleAttribution:
+    """Aggregates ProcessReport meters into the Fig. 7 budget view."""
+
+    def __init__(self, model: Optional[CostModel] = None):
+        self.model = model or CostModel()
+        self.packets = 0
+        self.paths: Dict[str, int] = {}
+        self._stages: Dict[str, _Bucket] = {}
+        self._nfs: Dict[str, _Bucket] = {}
+        #: chain label -> (packets, exact cycle total); the per-chain
+        #: breakdown when one profiler watches a whole sweep
+        self._chains: Dict[str, List[float]] = {}
+
+    # -- ingestion ---------------------------------------------------------
+
+    def ingest(self, report: "ProcessReport", chain: str = "default") -> None:
+        """Fold one packet's meters into the stage/NF/chain buckets."""
+        self.packets += 1
+        path = report.path.value
+        self.paths[path] = self.paths.get(path, 0) + 1
+
+        stages = self._stages
+        fixed = report.fixed_meter
+        for operation, times in fixed.counts.items():
+            stage = _STAGE_OF.get(operation, "other")
+            bucket = stages.get(stage)
+            if bucket is None:
+                bucket = stages[stage] = _Bucket()
+            bucket.counts[operation] = bucket.counts.get(operation, 0.0) + times
+        if fixed.direct_cycles:
+            bucket = stages.get("other")
+            if bucket is None:
+                bucket = stages["other"] = _Bucket()
+            bucket.direct_cycles += fixed.direct_cycles
+
+        nfs = self._nfs
+        for name, meter in report.nf_meters:
+            bucket = nfs.get(name)
+            if bucket is None:
+                bucket = nfs[name] = _Bucket()
+            bucket.add_meter(meter)
+        for wave in report.sf_waves:
+            for name, meter in wave:
+                bucket = nfs.get(name)
+                if bucket is None:
+                    bucket = nfs[name] = _Bucket()
+                bucket.add_meter(meter)
+
+        entry = self._chains.get(chain)
+        if entry is None:
+            entry = self._chains[chain] = [0, 0.0]
+        entry[0] += 1
+        entry[1] += report.total_meter().cycles(self.model)
+
+    def ingest_all(self, reports: Iterable["ProcessReport"], chain: str = "default") -> None:
+        for report in reports:
+            self.ingest(report, chain=chain)
+
+    # -- breakdowns --------------------------------------------------------
+
+    def stage_cycles(self) -> Dict[str, float]:
+        """Per-stage cycle totals, in canonical stage order."""
+        model = self.model
+        out: Dict[str, float] = {}
+        for stage in STAGE_ORDER:
+            bucket = self._stages.get(stage)
+            if bucket is not None:
+                out[stage] = bucket.cycles(model)
+        for stage in sorted(self._stages):
+            if stage not in out:
+                out[stage] = self._stages[stage].cycles(model)
+        return out
+
+    def nf_cycles(self) -> Dict[str, float]:
+        """Per-NF cycle totals (chain hops + SF batches), by NF name."""
+        model = self.model
+        return {name: self._nfs[name].cycles(model) for name in sorted(self._nfs)}
+
+    def chain_cycles(self) -> Dict[str, float]:
+        """Per-chain exact cycle totals (one entry per ``chain`` label)."""
+        return {chain: entry[1] for chain, entry in sorted(self._chains.items())}
+
+    def chain_packets(self) -> Dict[str, int]:
+        return {chain: int(entry[0]) for chain, entry in sorted(self._chains.items())}
+
+    def total_cycles(self) -> float:
+        """Sum of every stage and NF bucket — the run's whole budget.
+
+        Equals the summed ``report.total_meter().cycles(model)`` of every
+        ingested report exactly when all exercised operation costs are
+        integers (all defaults outside the payload-byte DPI costs are).
+        """
+        total = 0.0
+        for __, cycles in sorted(self.stage_cycles().items()):
+            total += cycles
+        for __, cycles in sorted(self.nf_cycles().items()):
+            total += cycles
+        return total
+
+    def breakdown(self) -> Dict[str, object]:
+        """The whole view as one JSON-serialisable dict."""
+        return {
+            "packets": self.packets,
+            "paths": dict(sorted(self.paths.items())),
+            "stages": self.stage_cycles(),
+            "nfs": self.nf_cycles(),
+            "chains": self.chain_cycles(),
+            "total_cycles": self.total_cycles(),
+        }
+
+    # -- rendering ---------------------------------------------------------
+
+    def render(self, title: str = "cycle attribution") -> str:
+        """Aligned text tables: per-stage, per-NF, per-chain budgets."""
+        from repro.stats.tables import format_table
+
+        total = self.total_cycles()
+
+        def share(cycles: float) -> str:
+            return f"{100.0 * cycles / total:.1f}%" if total else "-"
+
+        def per_packet(cycles: float) -> str:
+            return f"{cycles / self.packets:.1f}" if self.packets else "-"
+
+        stage_rows = [
+            [stage, f"{cycles:.0f}", per_packet(cycles), share(cycles)]
+            for stage, cycles in self.stage_cycles().items()
+        ]
+        blocks = [
+            format_table(
+                ["stage", "cycles", "cycles/pkt", "share"],
+                stage_rows,
+                title=f"{title} — per stage ({self.packets} packets)",
+            )
+        ]
+        nf_rows = [
+            [name, f"{cycles:.0f}", per_packet(cycles), share(cycles)]
+            for name, cycles in self.nf_cycles().items()
+        ]
+        if nf_rows:
+            blocks.append(
+                format_table(
+                    ["nf", "cycles", "cycles/pkt", "share"],
+                    nf_rows,
+                    title=f"{title} — per NF",
+                )
+            )
+        chains = self.chain_cycles()
+        if len(chains) > 1:
+            packets = self.chain_packets()
+            chain_rows = [
+                [chain, packets[chain], f"{cycles:.0f}",
+                 f"{cycles / packets[chain]:.1f}" if packets[chain] else "-"]
+                for chain, cycles in chains.items()
+            ]
+            blocks.append(
+                format_table(
+                    ["chain", "packets", "cycles", "cycles/pkt"],
+                    chain_rows,
+                    title=f"{title} — per chain",
+                )
+            )
+        return "\n\n".join(blocks)
+
+    def reset(self) -> None:
+        self.packets = 0
+        self.paths.clear()
+        self._stages.clear()
+        self._nfs.clear()
+        self._chains.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"<CycleAttribution {self.packets} packets, "
+            f"{len(self._stages)} stages, {len(self._nfs)} NFs>"
+        )

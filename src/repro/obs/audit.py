@@ -1,0 +1,131 @@
+"""The decision audit log: every control-plane verdict as a JSON line.
+
+The data plane has metrics (how many) and traces (when); what neither
+answers is *why the runtime is shaped the way it is* — why this flow's
+fast lane was recompiled, why that Global MAT rule disappeared, why the
+autoscaler added a replica at window 12.  :class:`AuditLog` records
+those control-plane decisions as structured, timestamped events with
+causal flow identifiers:
+
+- fast-path lifecycle — ``fastpath_compile`` / ``fastpath_invalidate``
+  (from :meth:`repro.core.framework.SpeedyBox._maybe_compile` and the
+  invalidation hooks, with the reason: rule evicted, flow deleted,
+  migration export/import, uncompilable);
+- Global MAT — ``global_mat_insert`` / ``global_mat_rebuild`` (event-
+  driven reconsolidation) / ``global_mat_evict`` (LRU at capacity);
+- migration protocol — ``migration_freeze`` / ``migration_buffer`` /
+  ``migration_transfer`` / ``migration_replay``, one event per phase of
+  the freeze-buffer-replay choreography;
+- elasticity — ``scale_out`` / ``scale_in`` / ``autoscale_decision``
+  (the watermark verdict with the signal sample it was based on).
+
+Events are dicts with a monotonically increasing ``seq`` (deterministic
+— tests assert on it), a wall-clock ``ts`` (injectable clock), the
+``kind`` and the emitter's keyword fields.  Export is JSON lines, one
+event per line, greppable and loadable with pandas.
+
+Deliberately *not* a metrics surface: none of these events increment
+registry counters, so enabling the audit log cannot perturb the
+metric-parity contract between the interpreted and compiled fast paths
+(``tests/unit/test_fastpath_metric_parity.py``).
+
+Like the registry and the tracer, the audit log has a null mode:
+:data:`NULL_AUDIT` accepts every ``emit`` and records nothing, so
+instrumented code never branches on "is auditing on" beyond the single
+early return inside :meth:`AuditLog.emit`.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any, Callable, Dict, Iterable, List, Optional
+
+
+class AuditLog:
+    """Append-only structured event log for control-plane decisions."""
+
+    def __init__(self, enabled: bool = True, clock: Callable[[], float] = time.time):
+        self.enabled = enabled
+        self.clock = clock
+        self._events: List[Dict[str, Any]] = []
+        self._seq = 0
+
+    # -- recording ---------------------------------------------------------
+
+    def emit(self, kind: str, **fields: Any) -> Optional[Dict[str, Any]]:
+        """Record one event; returns the event dict (None when disabled)."""
+        if not self.enabled:
+            return None
+        self._seq += 1
+        event: Dict[str, Any] = {"seq": self._seq, "ts": self.clock(), "kind": kind}
+        event.update(fields)
+        self._events.append(event)
+        return event
+
+    # -- introspection -----------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def events(self, kind: Optional[str] = None) -> List[Dict[str, Any]]:
+        """All events, or only those of one kind, in emission order."""
+        if kind is None:
+            return list(self._events)
+        return [event for event in self._events if event["kind"] == kind]
+
+    def counts(self) -> Dict[str, int]:
+        """Event count per kind (the audit-event summary of a run)."""
+        out: Dict[str, int] = {}
+        for event in self._events:
+            out[event["kind"]] = out.get(event["kind"], 0) + 1
+        return out
+
+    def last(self, kind: Optional[str] = None) -> Optional[Dict[str, Any]]:
+        matching = self.events(kind)
+        return matching[-1] if matching else None
+
+    def reset(self) -> None:
+        self._events.clear()
+        self._seq = 0
+
+    # -- export ------------------------------------------------------------
+
+    def to_jsonl(self) -> str:
+        return "\n".join(json.dumps(event, sort_keys=True) for event in self._events)
+
+    def write_jsonl(self, path) -> int:
+        """Write one JSON object per line; returns the event count."""
+        payload = self.to_jsonl()
+        with open(path, "w") as handle:
+            if payload:
+                handle.write(payload + "\n")
+        return len(self._events)
+
+    def __repr__(self) -> str:
+        kinds = len({event["kind"] for event in self._events})
+        return f"<AuditLog {len(self._events)} events, {kinds} kinds>"
+
+
+def load_audit_jsonl(path) -> List[Dict[str, Any]]:
+    """Read an audit JSONL file back into event dicts (report tooling)."""
+    events: List[Dict[str, Any]] = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events
+
+
+def summarize_events(events: Iterable[Dict[str, Any]]) -> Dict[str, int]:
+    """Per-kind counts over already-loaded event dicts."""
+    out: Dict[str, int] = {}
+    for event in events:
+        kind = event.get("kind", "?")
+        out[kind] = out.get(kind, 0) + 1
+    return out
+
+
+#: The shared disabled audit log — the default everywhere.
+NULL_AUDIT = AuditLog(enabled=False)

@@ -101,25 +101,40 @@ class TracingObserver(EngineObserver):
     operation) on track ``ring:<store name>`` and an instant marker for
     each blocked put/get — in Perfetto the rings render as stacked area
     charts with block events pinned on top.
+
+    One observer may serve several engines (platforms reuse their
+    observability bundle across runs): tracks are namespaced per engine,
+    so two engines whose rings share a name — every platform calls its
+    first ring ``ring:nf0`` — land on distinct tracks instead of
+    interleaving.  The first engine seen keeps the bare legacy names;
+    later engines are prefixed ``e1:``, ``e2:``, ...
     """
 
     def __init__(self, tracer: PacketTracer = NULL_TRACER):
         self.tracer = tracer
+        # id(engine) -> (engine, tag).  The engine reference is held on
+        # purpose: it pins the id, so a dead engine's recycled address
+        # can never alias a later engine onto the wrong namespace.
+        self._engine_tags: Dict[int, tuple] = {}
+
+    def _track(self, store: Any) -> str:
+        engine = store.engine
+        entry = self._engine_tags.get(id(engine))
+        if entry is None:
+            tag = "" if not self._engine_tags else f"e{len(self._engine_tags)}:"
+            entry = self._engine_tags[id(engine)] = (engine, tag)
+        return f"{entry[1]}ring:{store.name or id(store)}"
 
     def store_put(self, store: Any, item: Any) -> None:
-        self.tracer.counter(
-            "occupancy", f"ring:{store.name or id(store)}", store.engine.now, len(store)
-        )
+        self.tracer.counter("occupancy", self._track(store), store.engine.now, len(store))
 
     def store_get(self, store: Any, item: Any) -> None:
-        self.tracer.counter(
-            "occupancy", f"ring:{store.name or id(store)}", store.engine.now, len(store)
-        )
+        self.tracer.counter("occupancy", self._track(store), store.engine.now, len(store))
 
     def store_blocked(self, store: Any, process: Any, kind: str) -> None:
         self.tracer.instant(
             f"blocked_{kind}",
-            f"ring:{store.name or id(store)}",
+            self._track(store),
             store.engine.now,
             process=getattr(process, "name", ""),
         )

@@ -100,6 +100,10 @@ class Counter:
     def series(self) -> Dict[str, float]:
         return {_render_key(self.name, key): value for key, value in self._values.items()}
 
+    def samples(self) -> List[Tuple[LabelSet, float]]:
+        """(labels, value) pairs sorted by label set (exporter feed)."""
+        return sorted(self._values.items())
+
     def reset(self) -> None:
         self._values.clear()
 
@@ -151,6 +155,10 @@ class Gauge:
 
     def series(self) -> Dict[str, float]:
         return {_render_key(self.name, key): value for key, value in self._values.items()}
+
+    def samples(self) -> List[Tuple[LabelSet, float]]:
+        """(labels, value) pairs sorted by label set (exporter feed)."""
+        return sorted(self._values.items())
 
     def reset(self) -> None:
         self._values.clear()
@@ -243,6 +251,25 @@ class Histogram:
             out[_render_key(f"{self.name}_sum", key)] = series.sum
         return out
 
+    def samples(self) -> List[Tuple[LabelSet, Dict[str, object]]]:
+        """Structured per-label-set view for the Prometheus exporter.
+
+        Each entry is ``(labels, {"buckets": [(bound, cumulative), ...],
+        "count": n, "sum": s})`` with cumulative bucket counts (the
+        explicit ``+Inf`` bucket is the exporter's job — it always equals
+        ``count``).
+        """
+        out: List[Tuple[LabelSet, Dict[str, object]]] = []
+        for key in sorted(self._series):
+            series = self._series[key]
+            cumulative = 0
+            buckets: List[Tuple[float, int]] = []
+            for bound, bucket in zip(self.buckets, series.bucket_counts):
+                cumulative += bucket
+                buckets.append((bound, cumulative))
+            out.append((key, {"buckets": buckets, "count": series.count, "sum": series.sum}))
+        return out
+
     def reset(self) -> None:
         self._series.clear()
 
@@ -311,6 +338,10 @@ class MetricsRegistry:
     def metric(self, name: str):
         """The registered instrument, or None."""
         return self._metrics.get(name)
+
+    def instruments(self) -> List[object]:
+        """Every registered instrument, sorted by metric name."""
+        return [self._metrics[name] for name in sorted(self._metrics)]
 
     def snapshot(self) -> Dict[str, float]:
         """Every series as a flat ``name{label=value,...} -> value`` dict."""

@@ -1,0 +1,234 @@
+"""The ``repro obs report`` dashboard: run artifacts → one text page.
+
+A run emits up to four artifacts — a metrics snapshot (JSON) or
+Prometheus scrape, a flow-span JSONL, an audit-event JSONL, and a
+Chrome trace.  This module folds the first three into the operator's
+one-page view:
+
+- **top flows by latency** — sampled root spans grouped per flow,
+  ranked by worst simulated latency (falling back to modelled pipeline
+  time for unloaded runs);
+- **SLO attainment** — the latency distribution's target percentile
+  against ``--slo-us``, with a PASS/FAIL verdict and the attainment
+  fraction (share of packets inside the objective);
+- **cycle attribution** — the per-stage/per-NF budget recovered from
+  the spans' depth-1 children (same stage taxonomy as
+  :mod:`repro.obs.attribution`);
+- **audit summary** — per-kind decision counts plus the most recent
+  event of each kind;
+- **metrics summary** — the snapshot itself, family-grouped.
+
+Everything here is pure functions over loaded dicts so the unit suite
+drives it without a CLI round-trip; :func:`render_report` is what the
+CLI subcommand prints.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.obs.audit import summarize_events
+from repro.stats.summary import percentile_sorted
+from repro.stats.tables import format_table
+
+
+def load_jsonl(path) -> List[Dict[str, Any]]:
+    """Read a JSONL artifact (spans or audit events) into dicts."""
+    records: List[Dict[str, Any]] = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+def load_metrics(path) -> Dict[str, float]:
+    """Read a metrics artifact: snapshot JSON or Prometheus text."""
+    with open(path) as handle:
+        text = handle.read()
+    stripped = text.lstrip()
+    if stripped.startswith("{"):
+        return json.loads(text)
+    from repro.obs.promexport import parse_prometheus
+
+    parsed = parse_prometheus(text)
+    out: Dict[str, float] = {}
+    for name, labels, value in parsed.samples:
+        key = name if not labels else (
+            name + "{" + ",".join(f"{k}={v}" for k, v in labels) + "}"
+        )
+        out[key] = value
+    return out
+
+
+def _flow_latencies(roots: Sequence[Dict[str, Any]]) -> Dict[int, Dict[str, float]]:
+    """Per-flow packet counts and worst/total latency from root spans."""
+    flows: Dict[int, Dict[str, float]] = {}
+    for record in roots:
+        args = record.get("args", {})
+        fid = args.get("fid")
+        if fid is None:
+            continue
+        latency = args.get("sim_latency_ns")
+        if latency is None:
+            latency = record.get("dur_ns", 0.0)
+        entry = flows.get(fid)
+        if entry is None:
+            entry = flows[fid] = {"packets": 0, "worst_ns": 0.0, "total_ns": 0.0}
+        entry["packets"] += 1
+        entry["total_ns"] += latency
+        if latency > entry["worst_ns"]:
+            entry["worst_ns"] = latency
+    return flows
+
+
+def _span_roots(spans: Sequence[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    return [record for record in spans if record.get("depth") == 0]
+
+
+def render_top_flows(spans: Sequence[Dict[str, Any]], top: int = 5) -> str:
+    """Top flows by worst observed latency, from sampled root spans."""
+    flows = _flow_latencies(_span_roots(spans))
+    if not flows:
+        return "top flows\n(no spans recorded)"
+    ranked = sorted(flows.items(), key=lambda item: -item[1]["worst_ns"])[:top]
+    rows = [
+        [
+            f"flow:{fid}",
+            int(entry["packets"]),
+            f"{entry['worst_ns'] / 1000.0:.2f}",
+            f"{entry['total_ns'] / entry['packets'] / 1000.0:.2f}",
+        ]
+        for fid, entry in ranked
+    ]
+    return format_table(
+        ["flow", "packets", "worst us", "mean us"],
+        rows,
+        title=f"top {len(rows)} flows by latency",
+    )
+
+
+def render_slo(
+    spans: Sequence[Dict[str, Any]],
+    slo_us: Optional[float],
+    percentile: float = 0.99,
+) -> str:
+    """SLO attainment for the sampled latency distribution."""
+    latencies = []
+    for record in _span_roots(spans):
+        args = record.get("args", {})
+        latency = args.get("sim_latency_ns")
+        if latency is None:
+            latency = record.get("dur_ns", 0.0)
+        latencies.append(latency)
+    if not latencies:
+        return "SLO attainment\n(no spans recorded)"
+    latencies.sort()
+    target = percentile_sorted(latencies, percentile)
+    lines = [
+        "SLO attainment",
+        f"  packets sampled : {len(latencies)}",
+        f"  p{percentile * 100:g} latency    : {target / 1000.0:.2f} us",
+    ]
+    if slo_us is not None:
+        slo_ns = slo_us * 1000.0
+        inside = sum(1 for latency in latencies if latency <= slo_ns)
+        attainment = inside / len(latencies)
+        verdict = "PASS" if target <= slo_ns else "FAIL"
+        lines.append(f"  objective       : {slo_us:.2f} us at p{percentile * 100:g}")
+        lines.append(f"  attainment      : {100.0 * attainment:.2f}% of packets inside")
+        lines.append(f"  verdict         : {verdict}")
+    else:
+        lines.append("  objective       : (none given — pass --slo-us to gate)")
+    return "\n".join(lines)
+
+
+def render_attribution_from_spans(spans: Sequence[Dict[str, Any]]) -> str:
+    """Per-stage cycle budget recovered from depth-1 child spans."""
+    stage_cycles: Dict[str, float] = {}
+    order: List[str] = []
+    packets = 0
+    for record in spans:
+        if record.get("depth") == 0:
+            packets += 1
+            continue
+        if record.get("depth") != 1:
+            continue
+        args = record.get("args", {})
+        stage = args.get("stage", "other")
+        name = record.get("name", stage)
+        key = name if stage in ("nf", "sf") else stage
+        if key not in stage_cycles:
+            stage_cycles[key] = 0.0
+            order.append(key)
+        stage_cycles[key] += args.get("cycles", 0.0)
+    if not stage_cycles:
+        return "cycle attribution\n(no spans recorded)"
+    total = sum(stage_cycles.values())
+    rows = [
+        [
+            key,
+            f"{stage_cycles[key]:.0f}",
+            f"{stage_cycles[key] / packets:.1f}" if packets else "-",
+            f"{100.0 * stage_cycles[key] / total:.1f}%" if total else "-",
+        ]
+        for key in order
+    ]
+    rows.append(["total", f"{total:.0f}", f"{total / packets:.1f}" if packets else "-", "100.0%"])
+    return format_table(
+        ["stage", "cycles", "cycles/pkt", "share"],
+        rows,
+        title=f"cycle attribution ({packets} sampled packets)",
+    )
+
+
+def render_audit_summary(events: Sequence[Dict[str, Any]], last_n: int = 3) -> str:
+    """Per-kind decision counts plus the tail of the log."""
+    if not events:
+        return "audit events\n(no events recorded)"
+    counts = summarize_events(events)
+    rows = [[kind, counts[kind]] for kind in sorted(counts)]
+    table = format_table(
+        ["event kind", "count"], rows, title=f"audit events ({len(events)} total)"
+    )
+    tail_lines = ["", "last events:"]
+    for event in list(events)[-last_n:]:
+        fields = {
+            key: value
+            for key, value in event.items()
+            if key not in ("seq", "ts", "kind")
+        }
+        rendered = " ".join(f"{key}={value}" for key, value in sorted(fields.items()))
+        tail_lines.append(f"  #{event.get('seq', '?')} {event.get('kind', '?')} {rendered}".rstrip())
+    return table + "\n".join(tail_lines)
+
+
+def render_metrics_summary(snapshot: Dict[str, float]) -> str:
+    from repro.stats.metrics_view import render_metrics
+
+    return render_metrics(snapshot, title=f"metrics ({len(snapshot)} series)")
+
+
+def render_report(
+    metrics: Optional[Dict[str, float]] = None,
+    spans: Optional[Sequence[Dict[str, Any]]] = None,
+    audit: Optional[Sequence[Dict[str, Any]]] = None,
+    slo_us: Optional[float] = None,
+    percentile: float = 0.99,
+    top: int = 5,
+) -> str:
+    """The full dashboard; sections appear for the artifacts provided."""
+    blocks: List[str] = ["repro obs report\n================"]
+    if spans is not None:
+        blocks.append(render_top_flows(spans, top=top))
+        blocks.append(render_slo(spans, slo_us, percentile=percentile))
+        blocks.append(render_attribution_from_spans(spans))
+    if audit is not None:
+        blocks.append(render_audit_summary(audit))
+    if metrics is not None:
+        blocks.append(render_metrics_summary(metrics))
+    if len(blocks) == 1:
+        blocks.append("(no artifacts given — pass --spans / --audit / --metrics)")
+    return "\n\n".join(blocks)

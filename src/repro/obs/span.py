@@ -1,0 +1,366 @@
+"""Sampled per-flow spans: the packet-path microscope that stays cheap.
+
+The full :class:`~repro.obs.trace.PacketTracer` pipeline (metrics on,
+tracer on) forces the platform's instrumented functional pass and the
+DES replay — an order of magnitude slower than the compiled fast lane
+with analytic replay.  :class:`FlowSpanRecorder` is the middle ground:
+a 1-in-N *flow* sampler that records nested spans (classify → MAT
+lookup → dispatch → header action → per-NF state functions → emit)
+with exact cycle and model-time attribution, while the lean functional
+pass, the compiled fast lane and the closed-form replay all stay
+enabled.
+
+How it stays cheap
+------------------
+
+The recorder exposes ``skip`` — a plain dict mapping FIDs of flows that
+must *not* be recorded (unsampled, or past their per-flow span cap) to
+``True``.  The platform's hot loops hoist ``skip.get`` and call
+:meth:`record` only when the probe misses, so the steady-state cost per
+unrecorded packet is one dict lookup; the 1-in-64 overhead gate in
+``benchmarks/test_obs_overhead.py`` holds it under 5 % of the
+uninstrumented fast path.  Sampled *steady* packets reuse a prebuilt
+per-flow span template (steady reports are per-flow singletons), so
+even recorded packets avoid re-walking the meter.
+
+Sampling is per *flow*, deterministic: the k-th distinct FID seen is
+sampled iff ``k % every == 0``, so ``every=1`` records every flow and
+the selection is reproducible run to run.  ``max_spans_per_flow``
+(default 64) bounds memory on long flows — after the cap the flow joins
+``skip``; pass ``None`` to record every packet (the exact-attribution
+tests do).
+
+Cycle and sim-time attribution
+------------------------------
+
+Each recorded packet becomes one root span (track ``flow:<fid>``) whose
+children partition the packet's meter charges by pipeline stage using
+the same :func:`repro.obs.attribution.stage_of` mapping the Fig. 7
+profiler uses; per-stage ``cycles`` sum *exactly* to the packet's
+``total_meter()`` cycles (integer costs).  Durations are the cost
+model's ``cycles_to_ns`` on a monotonic recorder clock.  Loaded runs
+additionally annotate sampled roots with the replay's simulated arrival
+and finish times (``sim_arrival_ns`` / ``sim_latency_ns``) via
+:meth:`annotate_loaded` — valid for both the DES and the analytic
+Lindley replay, which produce identical timelines.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.attribution import STAGE_ORDER, stage_of
+from repro.platform.costs import CostModel
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from repro.core.framework import ProcessReport
+    from repro.obs.trace import PacketTracer
+
+#: Fixed-meter stages laid out before the NF/SF spans, in walk order.
+_PRE_NF_STAGES: Tuple[str, ...] = tuple(
+    stage for stage in STAGE_ORDER if stage not in ("teardown", "emit", "transport", "other")
+)
+#: ... and after them (FIN teardown, metadata detach, unmapped charges).
+_POST_NF_STAGES: Tuple[str, ...] = ("teardown", "emit", "transport", "other")
+
+
+class FlowSpanRecorder:
+    """Low-overhead 1-in-N flow span sampler for the fast engine."""
+
+    def __init__(
+        self,
+        model: Optional[CostModel] = None,
+        every: int = 64,
+        max_spans_per_flow: Optional[int] = 64,
+    ):
+        if every < 1:
+            raise ValueError(f"sampling ratio must be >= 1, got {every!r}")
+        if max_spans_per_flow is not None and max_spans_per_flow < 1:
+            raise ValueError(
+                f"max_spans_per_flow must be >= 1 or None, got {max_spans_per_flow!r}"
+            )
+        self.model = model or CostModel()
+        self.every = int(every)
+        self.max_spans_per_flow = max_spans_per_flow
+        #: hot-path probe: fid -> True for flows the platform must not
+        #: record (unsampled or capped).  Hoisted by the lean pass.
+        self.skip: Dict[int, bool] = {}
+        self.flows_seen = 0
+        self.flows_sampled = 0
+        self.packets_sampled = 0
+        #: flat span dicts ({"type": "flow_span", ...}), root then children
+        self.records: List[Dict[str, Any]] = []
+        self._decisions: Dict[int, bool] = {}
+        self._flow_spans: Dict[int, int] = {}
+        #: id(steady report) -> prebuilt child template (see _template_for)
+        self._steady_templates: Dict[int, List[Tuple[str, str, float, float, Optional[int]]]] = {}
+        self._clock_ns = 0.0
+        #: run-local packet index -> root record, for annotate_loaded
+        self._run_roots: Dict[int, Dict[str, Any]] = {}
+        #: deferred (arrival_at, completions, roots) triples; resolving
+        #: one costs O(run length), so it happens at read time, not
+        #: inside the timed run (see annotate_loaded)
+        self._pending_annotations: List[Tuple[Any, Sequence[Tuple[int, float]], Dict[int, Dict[str, Any]]]] = []
+
+    # -- recording ---------------------------------------------------------
+
+    def wants(self, fid: int) -> bool:
+        """Sampling decision for a flow (allocates it a rank on first use)."""
+        sampled = self._decisions.get(fid)
+        if sampled is None:
+            sampled = self.flows_seen % self.every == 0
+            self.flows_seen += 1
+            self._decisions[fid] = sampled
+            if sampled:
+                self.flows_sampled += 1
+            else:
+                self.skip[fid] = True
+        return sampled
+
+    def record(self, report: "ProcessReport", index: Optional[int] = None) -> None:
+        """Record one packet's spans if its flow is sampled.
+
+        ``index`` is the packet's position within the current loaded run
+        (used by :meth:`annotate_loaded`); ``None`` in unloaded mode.
+        Callers on a hot path should gate the call on ``skip.get(fid) is
+        None`` — :meth:`record` re-checks, so the gate is optional.
+        """
+        fid = report.fid
+        if not self.wants(fid):
+            return
+        cap = self.max_spans_per_flow
+        if cap is not None:
+            taken = self._flow_spans.get(fid, 0)
+            if taken >= cap:
+                self.skip[fid] = True
+                return
+            self._flow_spans[fid] = taken + 1
+
+        self.packets_sampled += 1
+        steady = report.steady
+        if steady:
+            template = self._steady_templates.get(id(report))
+            if template is None:
+                template = self._build_children(report)
+                self._steady_templates[id(report)] = template
+        else:
+            template = self._build_children(report)
+
+        start = self._clock_ns
+        total_ns = 0.0
+        total_cycles = 0.0
+        track = f"flow:{fid}"
+        records = self.records
+        root: Dict[str, Any] = {
+            "type": "flow_span",
+            "name": "packet",
+            "track": track,
+            "start_ns": start,
+            "dur_ns": 0.0,
+            "depth": 0,
+            "args": {
+                "fid": fid,
+                "path": report.path.value,
+                "dropped": report.dropped,
+                "cycles": 0.0,
+            },
+        }
+        records.append(root)
+        cursor = start
+        for name, stage, cycles, dur_ns, wave in template:
+            args: Dict[str, Any] = {"stage": stage, "cycles": cycles}
+            if wave is not None:
+                args["wave"] = wave
+            records.append(
+                {
+                    "type": "flow_span",
+                    "name": name,
+                    "track": track,
+                    "start_ns": cursor,
+                    "dur_ns": dur_ns,
+                    "depth": 1,
+                    "args": args,
+                }
+            )
+            cursor += dur_ns
+            total_ns += dur_ns
+            total_cycles += cycles
+        root["dur_ns"] = total_ns
+        root["args"]["cycles"] = total_cycles
+        self._clock_ns = cursor
+        if index is not None:
+            self._run_roots[index] = root
+
+    def _build_children(
+        self, report: "ProcessReport"
+    ) -> List[Tuple[str, str, float, float, Optional[int]]]:
+        """(name, stage, cycles, dur_ns, wave) children for one report.
+
+        The fixed meter's charges are grouped by :func:`stage_of` and
+        laid out in the canonical stage order, with the per-NF spans
+        (slow-path hops or fast-path SF batches) between the dispatch
+        stages and the teardown/emit tail — the packet's actual walk.
+        Per-stage cycles are computed as count × cost sums, the same
+        arithmetic :class:`~repro.obs.attribution.CycleAttribution`
+        uses, so span totals and profiler totals match exactly.
+        """
+        model = self.model
+        table = model.op_cycles
+        to_ns = model.ns_per_cycle()
+
+        stage_cycles: Dict[str, float] = {}
+        fixed = report.fixed_meter
+        for operation in sorted(fixed.counts, key=lambda op: op.value):
+            stage = stage_of(operation)
+            stage_cycles[stage] = (
+                stage_cycles.get(stage, 0.0) + table[operation] * fixed.counts[operation]
+            )
+        if fixed.direct_cycles:
+            stage_cycles["other"] = stage_cycles.get("other", 0.0) + fixed.direct_cycles
+
+        children: List[Tuple[str, str, float, float, Optional[int]]] = []
+        for stage in _PRE_NF_STAGES:
+            cycles = stage_cycles.get(stage)
+            if cycles:
+                children.append((stage, stage, cycles, cycles * to_ns, None))
+        for name, meter in report.nf_meters:
+            cycles = _meter_cycles(meter, table)
+            children.append((f"nf:{name}", "nf", cycles, cycles * to_ns, None))
+        for wave_index, wave in enumerate(report.sf_waves):
+            for name, meter in wave:
+                cycles = _meter_cycles(meter, table)
+                children.append((f"sf:{name}", "sf", cycles, cycles * to_ns, wave_index))
+        for stage in _POST_NF_STAGES:
+            cycles = stage_cycles.get(stage)
+            if cycles:
+                children.append((stage, stage, cycles, cycles * to_ns, None))
+        return children
+
+    # -- loaded-run annotation --------------------------------------------
+
+    def begin_run(self) -> None:
+        """Forget the previous run's packet-index → root mapping."""
+        self._resolve_annotations()
+        self._run_roots = {}
+
+    def annotate_loaded(self, arrival_at, completions: Sequence[Tuple[int, float]]) -> None:
+        """Stamp sampled roots with the replay's simulated timeline.
+
+        ``arrival_at`` indexes offered times by packet index (list or
+        dict — both replay engines' shapes); ``completions`` pairs packet
+        indices with simulated finish times.  Resolution is deferred:
+        indexing the completions costs O(run length), which would eat
+        the sampling overhead budget inside ``run_load``, so this only
+        stashes references and the stamping happens on the next read
+        (:meth:`roots`, :meth:`to_jsonl`, :meth:`replay_into`, ...).
+        The root dicts are shared with ``records``, so late stamping is
+        visible everywhere once resolved.
+        """
+        if self._run_roots:
+            self._pending_annotations.append((arrival_at, completions, self._run_roots))
+
+    def _resolve_annotations(self) -> None:
+        """Apply every deferred sim-timeline annotation (idempotent)."""
+        if not self._pending_annotations:
+            return
+        pending, self._pending_annotations = self._pending_annotations, []
+        for arrival_at, completions, roots in pending:
+            finish_of = dict(completions)
+            for index, root in roots.items():
+                args = root["args"]
+                try:
+                    args["sim_arrival_ns"] = arrival_at[index]
+                except (IndexError, KeyError):
+                    continue
+                finish = finish_of.get(index)
+                if finish is not None:
+                    args["sim_finish_ns"] = finish
+                    args["sim_latency_ns"] = finish - args["sim_arrival_ns"]
+
+    # -- introspection / export -------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def roots(self) -> List[Dict[str, Any]]:
+        """The per-packet root spans, in record order."""
+        self._resolve_annotations()
+        return [record for record in self.records if record["depth"] == 0]
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "every": self.every,
+            "flows_seen": self.flows_seen,
+            "flows_sampled": self.flows_sampled,
+            "packets_sampled": self.packets_sampled,
+            "spans": len(self.records),
+        }
+
+    def to_jsonl(self) -> str:
+        self._resolve_annotations()
+        return "\n".join(json.dumps(record, sort_keys=True) for record in self.records)
+
+    def write_jsonl(self, path) -> int:
+        payload = self.to_jsonl()
+        with open(path, "w") as handle:
+            if payload:
+                handle.write(payload + "\n")
+        return len(self.records)
+
+    def replay_into(self, tracer: "PacketTracer") -> int:
+        """Copy the recorded spans into a PacketTracer (Chrome export)."""
+        self._resolve_annotations()
+        count = 0
+        for record in self.records:
+            span = tracer.span(
+                record["name"],
+                record["track"],
+                record["start_ns"],
+                record["dur_ns"],
+                **record["args"],
+            )
+            if span is not None:
+                span.depth = record["depth"]
+                count += 1
+        return count
+
+    def reset(self) -> None:
+        self.skip.clear()
+        self.flows_seen = 0
+        self.flows_sampled = 0
+        self.packets_sampled = 0
+        self.records.clear()
+        self._decisions.clear()
+        self._flow_spans.clear()
+        self._steady_templates.clear()
+        self._clock_ns = 0.0
+        self._run_roots = {}
+        self._pending_annotations = []
+
+    def __repr__(self) -> str:
+        return (
+            f"<FlowSpanRecorder 1-in-{self.every}: {self.flows_sampled}/"
+            f"{self.flows_seen} flows, {self.packets_sampled} packets, "
+            f"{len(self.records)} spans>"
+        )
+
+
+def _meter_cycles(meter, table) -> float:
+    """count × cost sum in sorted-operation order (exact for int costs)."""
+    total = meter.direct_cycles
+    counts = meter.counts
+    for operation in sorted(counts, key=lambda op: op.value):
+        total += table[operation] * counts[operation]
+    return total
+
+
+def load_span_jsonl(path) -> List[Dict[str, Any]]:
+    """Read a flow-span JSONL file back into record dicts."""
+    records: List[Dict[str, Any]] = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records

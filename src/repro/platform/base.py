@@ -27,6 +27,7 @@ from repro.core.framework import PathTaken, ProcessReport, ServiceChain, SpeedyB
 from repro.net.packet import Packet
 from repro.obs.hooks import CountingObserver, FanoutObserver, TracingObserver
 from repro.obs.registry import MetricsRegistry, NULL_REGISTRY
+from repro.obs.span import FlowSpanRecorder
 from repro.obs.timeline import trace_unloaded
 from repro.obs.trace import NULL_TRACER, PacketTracer
 from repro.platform.costs import CostModel, CycleMeter, Operation
@@ -239,6 +240,7 @@ class Platform:
         metrics: MetricsRegistry = NULL_REGISTRY,
         tracer: PacketTracer = NULL_TRACER,
         label: Optional[str] = None,
+        spans: Optional[FlowSpanRecorder] = None,
     ):
         self.runtime = runtime
         self.config = config or PlatformConfig()
@@ -250,6 +252,15 @@ class Platform:
         self.packets = 0
         self.metrics = metrics
         self.tracer = tracer
+        #: sampled flow-span recorder (repro.obs.span); unlike the tracer
+        #: it coexists with the lean pass + analytic replay, so it is the
+        #: way to see inside fast runs.  ``None`` = off (no per-packet
+        #: cost beyond the lean loop's one dict probe when on).
+        self.spans = spans
+        #: packet index within the current loaded run, or None outside
+        #: one — run_load sets it so sampled spans can be matched to the
+        #: replay's simulated arrival/finish times
+        self._span_run_index: Optional[int] = None
         #: instance label used for ring/track names; replicas of the same
         #: platform class override it so their metrics stay distinguishable
         self.label = label or self.name
@@ -360,6 +371,13 @@ class Platform:
         self.packets += 1
         report = self.runtime.process(packet)
         work, latency, main_core = self._time_report(report)
+        spans = self.spans
+        if spans is not None:
+            index = self._span_run_index
+            if index is not None:
+                self._span_run_index = index = index + 1
+            if spans.skip.get(report.fid) is None:
+                spans.record(report, index)
         self._m_packets.inc()
         self._m_latency.observe(self.costs.cycles_to_ns(latency))
         if self.tracer.enabled:
@@ -406,7 +424,16 @@ class Platform:
         ``timestamp_ns`` offsets instead (trace replay; timestamps must
         be non-decreasing).
         """
-        plans, gaps, dropped = self._functional_pass(packets, inter_arrival_ns, use_timestamps)
+        spans = self.spans
+        if spans is not None:
+            spans.begin_run()
+            self._span_run_index = -1
+        try:
+            plans, gaps, dropped = self._functional_pass(
+                packets, inter_arrival_ns, use_timestamps
+            )
+        finally:
+            self._span_run_index = None
         if self._analytic_valid(plans):
             arrival_at, completions = analytic_replay(
                 plans, gaps, self._stage_count(), self.config.ring_capacity
@@ -418,6 +445,8 @@ class Platform:
             run = self._spawn_pipeline(engine, plans, gaps)
             engine.run()
             self._publish_load_metrics(run.rings)
+        if spans is not None:
+            spans.annotate_loaded(run.arrival_at, run.completions)
         return run.to_load_result(offered=len(plans), dropped=dropped)
 
     def _analytic_valid(self, plans: Sequence[StagePlan]) -> bool:
@@ -507,21 +536,55 @@ class Platform:
         stage_plan = self._stage_plan
         plan_cache: Dict[int, StagePlan] = {}
         append_plan = plans.append
-        for packet in packets:
-            report = process(packet)
-            if report.dropped:
-                dropped += 1
-            if report.steady:
-                # Identity-keyed: steady reports are per-flow singletons
-                # kept alive by their CompiledFlow for the whole run.
-                key = id(report)
-                plan = plan_cache.get(key)
-                if plan is None:
+        spans = self.spans
+        if spans is None:
+            for packet in packets:
+                report = process(packet)
+                if report.dropped:
+                    dropped += 1
+                if report.steady:
+                    # Identity-keyed: steady reports are per-flow singletons
+                    # kept alive by their CompiledFlow for the whole run.
+                    key = id(report)
+                    plan = plan_cache.get(key)
+                    if plan is None:
+                        plan = stage_plan(report)
+                        plan_cache[key] = plan
+                else:
                     plan = stage_plan(report)
-                    plan_cache[key] = plan
-            else:
-                plan = stage_plan(report)
-            append_plan(plan)
+                append_plan(plan)
+        else:
+            # Span-sampling variant.  The trick that keeps 1-in-N
+            # sampling inside the 5% overhead gate: a steady singleton
+            # only enters the plan cache once its flow is *done*
+            # recording (unsampled, or past the span cap), so the
+            # steady-state majority takes the exact spans-off loop body
+            # — cache probe, append, nothing else.  Flows still being
+            # recorded miss the cache and rebuild their plan per packet,
+            # which only the sampled minority pays.
+            skip_get = spans.skip.get
+            record_span = spans.record
+            for packet in packets:
+                report = process(packet)
+                if report.dropped:
+                    dropped += 1
+                if report.steady:
+                    key = id(report)
+                    plan = plan_cache.get(key)
+                    if plan is None:
+                        plan = stage_plan(report)
+                        if skip_get(report.fid) is None:
+                            record_span(report, len(plans))
+                        if skip_get(report.fid) is not None:
+                            # Flow won't record again: cache its plan so
+                            # later packets skip this branch entirely.
+                            plan_cache[key] = plan
+                    append_plan(plan)
+                else:
+                    plan = stage_plan(report)
+                    append_plan(plan)
+                    if skip_get(report.fid) is None:
+                        record_span(report, len(plans) - 1)
         self.packets += len(plans)
         return plans, gaps, dropped
 

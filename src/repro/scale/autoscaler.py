@@ -128,6 +128,7 @@ class Autoscaler:
         result = self.cluster.run_load(packets, inter_arrival_ns=inter_arrival_ns)
         sample = self.observe(result)
         decision = self.evaluate(sample)
+        replicas_before = self.cluster.replica_count
         if decision.action > 0:
             self.cluster.scale_out()
             self._windows_since_action = 0
@@ -138,4 +139,15 @@ class Autoscaler:
             self._windows_since_action += 1
         decision.replicas_after = self.cluster.replica_count
         self.decisions.append(decision)
+        self.cluster.audit.emit(
+            "autoscale_decision",
+            action=decision.action,
+            reason=decision.reason,
+            replicas_before=replicas_before,
+            replicas_after=decision.replicas_after,
+            ring_occupancy=sample.ring_occupancy,
+            core_utilisation=sample.core_utilisation,
+            p99_latency_ns=sample.p99_latency_ns,
+            throughput_mpps=sample.throughput_mpps,
+        )
         return decision

@@ -29,7 +29,9 @@ from repro.core.framework import ServiceChain, SpeedyBox
 from repro.net.flow import FiveTuple
 from repro.net.packet import Packet
 from repro.nf.base import NetworkFunction
+from repro.obs.audit import AuditLog, NULL_AUDIT
 from repro.obs.registry import MetricsRegistry, NULL_REGISTRY
+from repro.obs.span import FlowSpanRecorder
 from repro.obs.trace import NULL_TRACER, PacketTracer
 from repro.platform import BessPlatform, OpenNetVMPlatform
 from repro.platform.base import (
@@ -95,6 +97,8 @@ class ScaleCluster:
         buckets: int = 64,
         metrics: MetricsRegistry = NULL_REGISTRY,
         tracer: PacketTracer = NULL_TRACER,
+        audit: AuditLog = NULL_AUDIT,
+        spans: Optional[FlowSpanRecorder] = None,
     ):
         if platform not in PLATFORM_CLASSES:
             raise ValueError(f"unknown platform {platform!r} (bess|onvm)")
@@ -108,6 +112,10 @@ class ScaleCluster:
         self.physical_cores = physical_cores
         self.metrics = metrics
         self.tracer = tracer
+        self.audit = audit
+        #: shared by every replica's platform — flows are sampled across
+        #: the whole cluster, not per replica
+        self.spans = spans
         self.replicas: Dict[int, ChainReplica] = {}
         self._next_id = 0
         for __ in range(replicas):
@@ -115,7 +123,7 @@ class ScaleCluster:
         self.sharder = FlowSharder(
             {rid: 1.0 for rid in self.replicas}, buckets=buckets
         )
-        self.migrator = FlowMigrator(metrics=metrics, tracer=tracer)
+        self.migrator = FlowMigrator(metrics=metrics, tracer=tracer, audit=audit)
         #: canonical five-tuple -> buffered packets (flow is mid-migration);
         #: all wire directions of one frozen flow share one buffer list
         self._frozen: Dict[FiveTuple, List[Packet]] = {}
@@ -140,7 +148,9 @@ class ScaleCluster:
         nfs = list(self.chain_factory())
         runtime: Union[ServiceChain, SpeedyBox]
         if self.speedybox:
-            runtime = SpeedyBox(nfs, metrics=self.metrics, **self.speedybox_kwargs)
+            runtime = SpeedyBox(
+                nfs, metrics=self.metrics, audit=self.audit, **self.speedybox_kwargs
+            )
         else:
             runtime = ServiceChain(nfs, metrics=self.metrics)
         platform_cls = PLATFORM_CLASSES[self.platform_name]
@@ -150,6 +160,7 @@ class ScaleCluster:
             metrics=self.metrics,
             tracer=self.tracer,
             label=f"{platform_cls.name}:r{rid}",
+            spans=self.spans,
         )
         self.replicas[rid] = ChainReplica(replica_id=rid, platform=platform)
         return rid
@@ -184,6 +195,7 @@ class ScaleCluster:
             buffer.append(packet)
             self.packets_buffered += 1
             self._m_buffered.inc()
+            self.audit.emit("migration_buffer", flow=str(key), buffered=len(buffer))
             return None
         rid = self.home_of(key)
         self._flow_homes[key] = rid
@@ -319,6 +331,11 @@ class ScaleCluster:
                 raise MigrationError(f"flow {member} is already frozen")
             self._frozen[member] = buffer
         self._freeze_groups[key] = group
+        self.audit.emit(
+            "migration_freeze",
+            flow=str(key),
+            directions=[str(member) for member in group],
+        )
         return key
 
     def complete_migration(
@@ -362,6 +379,14 @@ class ScaleCluster:
             outcome = self.replicas[dst_replica_id].platform.process(packet)
             self._note_egress(packet, ingress, dst_replica_id)
             outcomes.append(outcome)
+        self.audit.emit(
+            "migration_replay",
+            flow=str(key),
+            src=src_rid,
+            dst=dst_replica_id,
+            buffered=len(buffered),
+            moved=report is not None,
+        )
         return report, outcomes
 
     def migrate_flow(
@@ -407,6 +432,7 @@ class ScaleCluster:
         if rebalance:
             self._migrate_rehomed_flows()
         self._m_replicas.set(len(self.replicas))
+        self.audit.emit("scale_out", replica=rid, replicas=len(self.replicas))
         return rid
 
     def scale_in(self) -> int:
@@ -423,6 +449,7 @@ class ScaleCluster:
             )
         del self.replicas[rid]
         self._m_replicas.set(len(self.replicas))
+        self.audit.emit("scale_in", replica=rid, replicas=len(self.replicas))
         return rid
 
     def _migrate_rehomed_flows(self) -> List[MigrationReport]:

@@ -39,6 +39,7 @@ from repro.core.classifier import fid_of
 from repro.core.framework import FlowRecord, ServiceChain, SpeedyBox
 from repro.net.flow import FiveTuple
 from repro.nf.base import NetworkFunction
+from repro.obs.audit import AuditLog, NULL_AUDIT
 from repro.obs.registry import MetricsRegistry, NULL_REGISTRY
 from repro.obs.trace import NULL_TRACER, PacketTracer
 
@@ -130,8 +131,10 @@ class FlowMigrator:
         self,
         metrics: MetricsRegistry = NULL_REGISTRY,
         tracer: PacketTracer = NULL_TRACER,
+        audit: AuditLog = NULL_AUDIT,
     ):
         self.tracer = tracer
+        self.audit = audit
         self.migrations = 0
         self._m_migrations = metrics.counter(
             "flow_migrations_total", "flows moved between chain replicas"
@@ -189,6 +192,13 @@ class FlowMigrator:
         self.migrations += 1
         self._m_migrations.inc()
         self._m_items.inc(report.total_items())
+        self.audit.emit(
+            "migration_transfer",
+            flow=str(flow),
+            fids=list(report.fids),
+            items=report.total_items(),
+            rebound=report.handlers_rebound,
+        )
         if self.tracer.enabled:
             self.tracer.instant(
                 f"migrate {flow}",

@@ -1,0 +1,148 @@
+"""End-to-end observability: exact span attribution + the obs dashboard.
+
+The tentpole acceptance check lives here: a fig8-style run (9 IPFilter
+chain) with flow spans at ``every=1`` / no cap produces per-stage span
+cycles that sum to the run's total cycle count with exact ``==``
+equality — the span layer, the Fig. 7 profiler and the raw CycleMeter
+arithmetic all agree bit for bit.  The CLI half drives ``repro demo``
+with every artifact flag and renders ``repro obs report`` from the
+files it wrote.
+"""
+
+from repro.cli import main
+from repro.core.framework import SpeedyBox
+from repro.nf import IPFilter
+from repro.obs import CycleAttribution, FlowSpanRecorder
+from repro.platform import BessPlatform
+from repro.platform.costs import CostModel
+from repro.traffic import FlowSpec, TrafficGenerator
+from repro.traffic.generator import clone_packets
+
+
+def fig8_chain():
+    return [IPFilter(f"ipfilter{i}") for i in range(9)]
+
+
+def fig8_packets(flows=6, per_flow=30):
+    specs = [
+        FlowSpec.tcp(f"10.1.{i}.1", "20.0.0.1", 5000 + i, 80, packets=per_flow)
+        for i in range(flows)
+    ]
+    return TrafficGenerator(specs, interleave="round_robin").packets()
+
+
+class TestExactAttribution:
+    def test_loaded_run_spans_sum_to_total_cycles(self):
+        """Acceptance: span attribution == run total, exact equality."""
+        model = CostModel()
+        packets = fig8_packets()
+        spans = FlowSpanRecorder(model=model, every=1, max_spans_per_flow=None)
+        platform = BessPlatform(SpeedyBox(fig8_chain()), spans=spans)
+        result = platform.run_load(clone_packets(packets))
+        assert result.delivered == len(packets)
+        assert spans.packets_sampled == len(packets)
+
+        # The oracle: the identical run's reports, summed raw and bucketed
+        # through the Fig. 7 profiler.
+        attribution = CycleAttribution(model)
+        oracle = SpeedyBox(fig8_chain())
+        reports = [oracle.process(p) for p in clone_packets(packets)]
+        attribution.ingest_all(reports)
+        raw_total = sum(r.total_meter().cycles(model) for r in reports)
+
+        span_total = sum(
+            record["args"]["cycles"]
+            for record in spans.records
+            if record["depth"] == 1
+        )
+        root_total = sum(root["args"]["cycles"] for root in spans.roots())
+        assert span_total == raw_total  # exact ==, no approx
+        assert root_total == raw_total
+        assert attribution.total_cycles() == raw_total
+
+    def test_per_stage_spans_match_profiler_stages(self):
+        """Fixed-meter stages agree bucket by bucket, not just in total."""
+        model = CostModel()
+        packets = fig8_packets(flows=3, per_flow=20)
+        spans = FlowSpanRecorder(model=model, every=1, max_spans_per_flow=None)
+        platform = BessPlatform(SpeedyBox(fig8_chain()), spans=spans)
+        platform.run_load(clone_packets(packets))
+
+        attribution = CycleAttribution(model)
+        oracle = SpeedyBox(fig8_chain())
+        attribution.ingest_all(oracle.process(p) for p in clone_packets(packets))
+
+        by_stage = {}
+        for record in spans.records:
+            if record["depth"] != 1:
+                continue
+            stage = record["args"]["stage"]
+            if stage in ("nf", "sf"):
+                continue  # NF buckets are keyed by name in the profiler
+            by_stage[stage] = by_stage.get(stage, 0.0) + record["args"]["cycles"]
+        profiler_stages = attribution.stage_cycles()
+        for stage, cycles in by_stage.items():
+            assert cycles == profiler_stages[stage]
+
+    def test_loaded_roots_carry_sim_latency(self):
+        spans = FlowSpanRecorder(every=1, max_spans_per_flow=None)
+        platform = BessPlatform(SpeedyBox(fig8_chain()), spans=spans)
+        platform.run_load(fig8_packets(flows=2, per_flow=10))
+        latencies = [
+            root["args"].get("sim_latency_ns") for root in spans.roots()
+        ]
+        assert all(value is not None and value > 0 for value in latencies)
+
+
+class TestReportCli:
+    def run_demo(self, tmp_path, capsys):
+        metrics = tmp_path / "metrics.prom"
+        spans = tmp_path / "spans.jsonl"
+        audit = tmp_path / "audit.jsonl"
+        status = main([
+            "demo", "--chain", "firewall,monitor", "--flows", "8",
+            "--metrics-prom", str(metrics),
+            "--span-out", str(spans), "--span-every", "1",
+            "--audit-out", str(audit),
+        ])
+        assert status == 0
+        capsys.readouterr()
+        return metrics, spans, audit
+
+    def test_obs_report_renders_every_section(self, tmp_path, capsys):
+        metrics, spans, audit = self.run_demo(tmp_path, capsys)
+        status = main([
+            "obs", "report",
+            "--metrics", str(metrics),
+            "--spans", str(spans),
+            "--audit", str(audit),
+            "--slo-us", "50",
+        ])
+        assert status == 0
+        out = capsys.readouterr().out
+        assert "repro obs report" in out
+        assert "flows by latency" in out
+        assert "SLO attainment" in out
+        assert "cycle attribution" in out
+        assert "audit events" in out
+        assert "metrics" in out
+        assert "fastpath_compile" in out
+
+    def test_obs_report_accepts_json_metrics(self, tmp_path, capsys):
+        metrics = tmp_path / "metrics.json"
+        status = main([
+            "demo", "--chain", "firewall", "--flows", "4",
+            "--metrics-json", str(metrics),
+        ])
+        assert status == 0
+        capsys.readouterr()
+        assert main(["obs", "report", "--metrics", str(metrics)]) == 0
+        out = capsys.readouterr().out
+        assert "metrics" in out
+        assert "chain_packets_total" in out
+        # A single artifact is enough: no "(no artifacts given ...)" hint.
+        assert "no artifacts" not in out
+
+    def test_obs_report_without_artifacts_is_an_error(self, capsys):
+        assert main(["obs", "report"]) == 2
+        assert "at least one" in capsys.readouterr().err

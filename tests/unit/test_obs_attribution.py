@@ -1,0 +1,119 @@
+"""Cycle attribution: stage mapping and the exactness contract."""
+
+from repro.core.framework import ServiceChain, SpeedyBox
+from repro.nf import IPFilter, MazuNAT, Monitor
+from repro.obs import CycleAttribution, STAGE_ORDER, stage_of
+from repro.platform.costs import CostModel, Operation
+from repro.traffic import FlowSpec, TrafficGenerator
+
+
+def make_packets(n=8, sport=1000):
+    spec = FlowSpec.tcp("10.0.0.1", "20.0.0.1", sport, 80, packets=n)
+    return TrafficGenerator([spec]).packets()
+
+
+def run_reports(runtime, packets):
+    return [runtime.process(packet) for packet in packets]
+
+
+class TestStageMapping:
+    def test_every_operation_maps_to_a_known_stage(self):
+        for operation in Operation:
+            assert stage_of(operation) in STAGE_ORDER
+
+    def test_representative_mappings(self):
+        assert stage_of(Operation.PARSE) == "classify"
+        assert stage_of(Operation.GLOBAL_MAT_LOOKUP) == "mat_lookup"
+        assert stage_of(Operation.FAST_PATH_DISPATCH) == "dispatch"
+        assert stage_of(Operation.MERGED_FIELD_WRITE) == "header_action"
+        assert stage_of(Operation.CONSOLIDATE_ACTION) == "consolidate"
+        assert stage_of(Operation.FLOW_DELETE) == "teardown"
+        assert stage_of(Operation.NIC_RX) == "transport"
+
+
+class TestExactness:
+    def test_total_equals_summed_meters_exactly(self):
+        """The tentpole contract: bucket totals == summed total_meter()."""
+        model = CostModel()
+        attribution = CycleAttribution(model)
+        runtime = SpeedyBox([MazuNAT("nat"), Monitor("mon"), IPFilter("fw")])
+        reports = run_reports(runtime, make_packets(20))
+        attribution.ingest_all(reports)
+        expected = sum(r.total_meter().cycles(model) for r in reports)
+        assert attribution.total_cycles() == expected  # exact, not approx
+        assert attribution.chain_cycles() == {"default": expected}
+
+    def test_slow_path_chain_matches_too(self):
+        model = CostModel()
+        attribution = CycleAttribution(model)
+        runtime = ServiceChain([IPFilter("fw0"), IPFilter("fw1")])
+        reports = run_reports(runtime, make_packets(10))
+        attribution.ingest_all(reports)
+        expected = sum(r.total_meter().cycles(model) for r in reports)
+        assert attribution.total_cycles() == expected
+
+
+class TestBreakdowns:
+    def make_attribution(self, packets=12):
+        attribution = CycleAttribution()
+        runtime = SpeedyBox([MazuNAT("nat"), Monitor("mon")])
+        attribution.ingest_all(run_reports(runtime, make_packets(packets)))
+        return attribution
+
+    def test_stage_cycles_follow_canonical_order(self):
+        stages = list(self.make_attribution().stage_cycles())
+        ranks = [STAGE_ORDER.index(stage) for stage in stages]
+        assert ranks == sorted(ranks)
+        assert "classify" in stages and "mat_lookup" in stages
+
+    def test_nf_buckets_cover_both_paths(self):
+        # Original-path hops and fast-path SF batches land on the same NF.
+        nfs = self.make_attribution().nf_cycles()
+        assert set(nfs) == {"nat", "mon"}
+        assert all(cycles > 0 for cycles in nfs.values())
+
+    def test_paths_and_packets_counted(self):
+        attribution = self.make_attribution(12)
+        assert attribution.packets == 12
+        assert sum(attribution.paths.values()) == 12
+        assert attribution.paths.get("fast", 0) > 0
+
+    def test_per_chain_labels_stay_separate(self):
+        attribution = CycleAttribution()
+        short = SpeedyBox([IPFilter("fw")])
+        long = SpeedyBox([IPFilter(f"fw{i}") for i in range(4)])
+        attribution.ingest_all(run_reports(short, make_packets(5)), chain="len1")
+        attribution.ingest_all(run_reports(long, make_packets(5)), chain="len4")
+        chains = attribution.chain_cycles()
+        assert set(chains) == {"len1", "len4"}
+        assert chains["len4"] > chains["len1"]
+        assert attribution.chain_packets() == {"len1": 5, "len4": 5}
+
+    def test_breakdown_is_json_serialisable(self):
+        import json
+
+        payload = json.loads(json.dumps(self.make_attribution().breakdown()))
+        assert payload["packets"] == 12
+        assert payload["total_cycles"] > 0
+
+    def test_render_shows_every_section(self):
+        attribution = CycleAttribution()
+        runtime = SpeedyBox([Monitor("mon")])
+        attribution.ingest_all(run_reports(runtime, make_packets(6)), chain="a")
+        attribution.ingest_all(run_reports(runtime, make_packets(6)), chain="b")
+        text = attribution.render(title="t")
+        assert "t — per stage" in text
+        assert "t — per NF" in text
+        assert "t — per chain" in text
+
+    def test_reset_clears_everything(self):
+        attribution = self.make_attribution()
+        attribution.reset()
+        assert attribution.packets == 0
+        assert attribution.total_cycles() == 0.0
+        assert attribution.stage_cycles() == {}
+        assert attribution.nf_cycles() == {}
+
+    def test_empty_attribution_renders(self):
+        text = CycleAttribution().render()
+        assert "0 packets" in text

@@ -1,0 +1,147 @@
+"""Edge cases for TracingObserver and the unloaded-mode timeline.
+
+Covers the corners the happy-path hook tests skip: empty runs,
+blocked-put storms at tiny ring capacity, one observer shared across
+several engines (tracks must not mix), and timeline layout for dropped
+and parallel-wave packets.
+"""
+
+from repro.core.framework import ServiceChain, SpeedyBox
+from repro.nf import IPFilter, Monitor, TokenBucketPolicer
+from repro.obs import CountingObserver, PacketTracer, TracingObserver
+from repro.obs.timeline import trace_unloaded
+from repro.platform import BessPlatform
+from repro.sim.engine import Engine, Get, Put, Timeout
+from repro.sim.resources import Store
+from repro.traffic import FlowSpec, TrafficGenerator
+
+
+def make_packets(n=8):
+    spec = FlowSpec.tcp("10.0.0.1", "20.0.0.1", 1000, 80, packets=n)
+    return TrafficGenerator([spec]).packets()
+
+
+def run_pipeline(engine, observer, items, capacity, name="ring0"):
+    engine.observer = observer
+    store = Store(engine, capacity=capacity, name=name)
+
+    def producer():
+        for index in range(items):
+            yield Put(store, index)
+
+    def consumer():
+        for _ in range(items):
+            yield Get(store)
+            yield Timeout(10.0)
+
+    engine.add_process(producer(), name="producer")
+    engine.add_process(consumer(), name="consumer")
+    engine.run()
+
+
+class TestTracingObserverEdges:
+    def test_empty_engine_run_records_nothing(self):
+        tracer = PacketTracer()
+        engine = Engine()
+        engine.observer = TracingObserver(tracer)
+        engine.run()  # no processes at all
+        assert tracer.tracks() == []
+
+    def test_blocked_put_storm_is_fully_recorded(self):
+        """Capacity 1 under a slow consumer: every put but the first blocks."""
+        tracer = PacketTracer()
+        run_pipeline(Engine(), TracingObserver(tracer), items=20, capacity=1)
+        records = tracer.to_chrome()["traceEvents"]
+        blocked = [e for e in records if e.get("name") == "blocked_put"]
+        # The producer outruns the consumer's 10 ns service time: after
+        # the first two puts race ahead, every remaining put blocks.
+        assert len(blocked) == 18
+        counters = [e for e in records if e["ph"] == "C"]
+        assert len(counters) == 40  # one occupancy sample per put + per get
+        occupancies = [e["args"]["occupancy"] for e in counters]
+        assert max(occupancies) <= 1  # never exceeds ring capacity
+
+    def test_one_observer_two_engines_does_not_mix_tracks(self):
+        """Same ring name on two engines must land on distinct tracks."""
+        tracer = PacketTracer()
+        observer = TracingObserver(tracer)
+        run_pipeline(Engine(), observer, items=3, capacity=2, name="ring0")
+        run_pipeline(Engine(), observer, items=5, capacity=2, name="ring0")
+        tracks = tracer.tracks()
+        assert "ring:ring0" in tracks  # first engine keeps the legacy name
+        namespaced = [t for t in tracks if t.endswith(":ring:ring0") and t != "ring:ring0"]
+        assert len(namespaced) == 1  # second engine got its own namespace
+        by_track = {}
+        for sample in tracer._counters:
+            by_track[sample.track] = by_track.get(sample.track, 0) + 1
+        assert by_track["ring:ring0"] == 6  # 3 puts + 3 gets
+        assert by_track[namespaced[0]] == 10  # 5 puts + 5 gets
+
+    def test_same_engine_reuse_keeps_one_namespace(self):
+        tracer = PacketTracer()
+        observer = TracingObserver(tracer)
+        engine = Engine()
+        run_pipeline(engine, observer, items=2, capacity=2, name="ring0")
+        run_pipeline(engine, observer, items=2, capacity=2, name="ring1")
+        assert "ring:ring0" in tracer.tracks()
+        assert "ring:ring1" in tracer.tracks()  # no e1: prefix: same engine
+
+
+class TestEmptyRuns:
+    def test_run_load_with_no_packets(self):
+        observer_metrics = CountingObserver()
+        platform = BessPlatform(SpeedyBox([IPFilter("fw")]))
+        result = platform.run_load([])
+        assert result.offered == 0
+        assert result.delivered == 0
+        assert observer_metrics.puts == 0
+
+    def test_run_load_with_no_packets_and_tracer(self):
+        tracer = PacketTracer()
+        platform = BessPlatform(SpeedyBox([IPFilter("fw")]), tracer=tracer)
+        result = platform.run_load([])
+        assert result.delivered == 0
+        # Chrome export of whatever little was traced still works.
+        tracer.to_chrome()
+
+
+class TestTimelineEdges:
+    def test_dropped_packet_ends_with_instant_not_tx(self):
+        tracer = PacketTracer()
+        # burst=1: the second back-to-back packet exceeds the bucket.
+        runtime = ServiceChain([TokenBucketPolicer("pol", rate_pps=1.0, burst=1)])
+        platform = BessPlatform(runtime)
+        packets = make_packets(2)
+        reports = [runtime.process(p) for p in packets]
+        assert reports[1].dropped
+        end = trace_unloaded(tracer, platform, reports[1], 0.0, 1)
+        names = [s.name for s in tracer.spans]
+        assert "nic_tx" not in names
+        instants = [e for e in tracer.to_chrome()["traceEvents"] if e["ph"] == "i"]
+        assert any(e["name"] == "dropped" for e in instants)
+        assert end > 0.0
+
+    def test_fast_path_wave_spans_carry_wave_index(self):
+        tracer = PacketTracer()
+        runtime = SpeedyBox([Monitor("m0"), Monitor("m1")])
+        platform = BessPlatform(runtime)
+        reports = [runtime.process(p) for p in make_packets(8)]
+        fast = [r for r in reports if r.is_fast]
+        assert fast, "steady flow must reach the fast path"
+        trace_unloaded(tracer, platform, fast[-1], 0.0, 0)
+        sf_spans = [s for s in tracer.spans if s.name.startswith("sf:")]
+        assert sf_spans
+        assert all("wave" in s.args for s in sf_spans)
+
+    def test_timeline_is_contiguous_for_slow_path(self):
+        tracer = PacketTracer()
+        runtime = ServiceChain([IPFilter("fw0"), IPFilter("fw1")])
+        platform = BessPlatform(runtime)
+        report = runtime.process(make_packets(1)[0])
+        end = trace_unloaded(tracer, platform, report, 100.0, 0)
+        main = [s for s in tracer.spans if s.track.endswith(":main")]
+        cursor = 100.0
+        for span in main:
+            assert span.start_ns == cursor
+            cursor += span.dur_ns
+        assert cursor == end

@@ -1,0 +1,186 @@
+"""FlowSpanRecorder: sampling, capping, exact attribution, export."""
+
+import pytest
+
+from repro.core.framework import SpeedyBox
+from repro.nf import IPFilter, MazuNAT, Monitor
+from repro.obs import FlowSpanRecorder, PacketTracer, load_span_jsonl
+from repro.platform.costs import CostModel
+from repro.traffic import FlowSpec, TrafficGenerator
+
+
+def make_packets(n=8, sport=1000):
+    spec = FlowSpec.tcp("10.0.0.1", "20.0.0.1", sport, 80, packets=n)
+    return TrafficGenerator([spec]).packets()
+
+
+def record_run(recorder, chain=None, packets=None):
+    runtime = SpeedyBox(chain or [MazuNAT("nat"), Monitor("mon")])
+    reports = [runtime.process(p) for p in (packets or make_packets(8))]
+    for report in reports:
+        recorder.record(report)
+    return reports
+
+
+class TestSampling:
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            FlowSpanRecorder(every=0)
+        with pytest.raises(ValueError):
+            FlowSpanRecorder(max_spans_per_flow=0)
+        FlowSpanRecorder(every=1, max_spans_per_flow=None)  # both edges ok
+
+    def test_every_n_samples_the_kth_distinct_flow(self):
+        recorder = FlowSpanRecorder(every=3)
+        decisions = [recorder.wants(fid) for fid in (10, 20, 30, 40, 50, 60)]
+        # Deterministic: flows ranked 0, 3 are sampled out of 6.
+        assert decisions == [True, False, False, True, False, False]
+        assert recorder.flows_seen == 6
+        assert recorder.flows_sampled == 2
+        # The decision is sticky per flow.
+        assert recorder.wants(10) is True
+        assert recorder.wants(20) is False
+        assert recorder.flows_seen == 6
+
+    def test_unsampled_flows_join_the_skip_probe(self):
+        recorder = FlowSpanRecorder(every=2)
+        recorder.wants(1)
+        recorder.wants(2)
+        assert 1 not in recorder.skip  # sampled
+        assert recorder.skip.get(2) is True  # unsampled: one-probe veto
+
+    def test_record_respects_sampling(self):
+        recorder = FlowSpanRecorder(every=2)
+        runtime = SpeedyBox([Monitor("mon")])
+        for sport in (1000, 1001, 1002, 1003):
+            for packet in make_packets(4, sport=sport):
+                recorder.record(runtime.process(packet))
+        assert recorder.flows_sampled == 2
+        fids = {root["args"]["fid"] for root in recorder.roots()}
+        assert len(fids) == 2
+
+
+class TestCap:
+    def test_cap_stops_recording_and_vetoes_the_flow(self):
+        recorder = FlowSpanRecorder(every=1, max_spans_per_flow=3)
+        record_run(recorder, packets=make_packets(8))
+        assert recorder.packets_sampled == 3
+        fid = recorder.roots()[0]["args"]["fid"]
+        assert recorder.skip.get(fid) is True
+
+    def test_none_cap_records_every_packet(self):
+        recorder = FlowSpanRecorder(every=1, max_spans_per_flow=None)
+        record_run(recorder, packets=make_packets(8))
+        assert recorder.packets_sampled == 8
+
+
+class TestAttribution:
+    def test_child_cycles_partition_the_meter_exactly(self):
+        """Per-span cycles sum to total_meter().cycles() — exact ==."""
+        model = CostModel()
+        recorder = FlowSpanRecorder(model=model, every=1, max_spans_per_flow=None)
+        reports = record_run(
+            recorder, chain=[MazuNAT("nat"), Monitor("mon"), IPFilter("fw")]
+        )
+        roots = recorder.roots()
+        assert len(roots) == len(reports)
+        for root, report in zip(roots, reports):
+            assert root["args"]["cycles"] == report.total_meter().cycles(model)
+        span_total = sum(
+            r["args"]["cycles"] for r in recorder.records if r["depth"] == 1
+        )
+        run_total = sum(r.total_meter().cycles(model) for r in reports)
+        assert span_total == run_total
+
+    def test_children_carry_stage_labels_and_tile_the_root(self):
+        recorder = FlowSpanRecorder(every=1, max_spans_per_flow=None)
+        record_run(recorder, packets=make_packets(2))
+        roots = recorder.roots()
+        for root in roots:
+            children = [
+                r for r in recorder.records
+                if r["depth"] == 1 and r["track"] == root["track"]
+                and root["start_ns"] <= r["start_ns"] < root["start_ns"] + root["dur_ns"]
+            ]
+            assert children, "every packet span has stage children"
+            # Children tile the root interval contiguously.
+            cursor = root["start_ns"]
+            for child in children:
+                assert child["start_ns"] == cursor
+                cursor += child["dur_ns"]
+            assert cursor == root["start_ns"] + root["dur_ns"]
+            assert all("stage" in c["args"] for c in children)
+
+    def test_fast_path_spans_name_sf_batches(self):
+        recorder = FlowSpanRecorder(every=1, max_spans_per_flow=None)
+        record_run(recorder, chain=[Monitor("mon")], packets=make_packets(8))
+        names = {r["name"] for r in recorder.records}
+        assert "sf:mon" in names  # fast-path state-function batch
+        assert "dispatch" in {r["args"].get("stage") for r in recorder.records
+                              if r["depth"] == 1}
+
+    def test_steady_template_reuse_is_observably_identical(self):
+        def spans_of(**kwargs):
+            recorder = FlowSpanRecorder(every=1, max_spans_per_flow=None, **kwargs)
+            record_run(recorder, chain=[Monitor("m")], packets=make_packets(12))
+            return [
+                (r["name"], r["args"].get("stage"), r["args"].get("cycles"))
+                for r in recorder.records
+            ]
+
+        first = spans_of()
+        assert first == spans_of()  # deterministic run to run
+
+
+class TestLoadedAnnotation:
+    def test_annotate_loaded_stamps_sim_times(self):
+        recorder = FlowSpanRecorder(every=1, max_spans_per_flow=None)
+        runtime = SpeedyBox([Monitor("mon")])
+        recorder.begin_run()
+        for index, packet in enumerate(make_packets(4)):
+            recorder.record(runtime.process(packet), index)
+        arrival_at = [100.0, 200.0, 300.0, 400.0]
+        completions = [(0, 150.0), (1, 260.0), (3, 480.0)]
+        recorder.annotate_loaded(arrival_at, completions)
+        roots = recorder.roots()
+        assert roots[0]["args"]["sim_latency_ns"] == 50.0
+        assert roots[1]["args"]["sim_latency_ns"] == 60.0
+        assert "sim_finish_ns" not in roots[2]["args"]  # dropped mid-run
+        assert roots[3]["args"]["sim_latency_ns"] == 80.0
+
+    def test_begin_run_forgets_previous_indices(self):
+        recorder = FlowSpanRecorder(every=1, max_spans_per_flow=None)
+        runtime = SpeedyBox([Monitor("mon")])
+        recorder.begin_run()
+        recorder.record(runtime.process(make_packets(1)[0]), 0)
+        recorder.begin_run()
+        recorder.annotate_loaded([999.0], [(0, 1000.0)])
+        assert "sim_arrival_ns" not in recorder.roots()[0]["args"]
+
+
+class TestExport:
+    def test_jsonl_round_trip(self, tmp_path):
+        recorder = FlowSpanRecorder(every=1, max_spans_per_flow=None)
+        record_run(recorder, packets=make_packets(3))
+        path = tmp_path / "spans.jsonl"
+        assert recorder.write_jsonl(path) == len(recorder.records)
+        assert load_span_jsonl(path) == recorder.records
+
+    def test_replay_into_tracer(self):
+        recorder = FlowSpanRecorder(every=1, max_spans_per_flow=None)
+        record_run(recorder, packets=make_packets(3))
+        tracer = PacketTracer()
+        assert recorder.replay_into(tracer) == len(recorder.records)
+        assert any(track.startswith("flow:") for track in tracer.tracks())
+
+    def test_reset_and_repr(self):
+        recorder = FlowSpanRecorder(every=1)
+        record_run(recorder, packets=make_packets(2))
+        assert len(recorder) > 0
+        recorder.reset()
+        assert len(recorder) == 0
+        assert recorder.summary() == {
+            "every": 1, "flows_seen": 0, "flows_sampled": 0,
+            "packets_sampled": 0, "spans": 0,
+        }
+        assert "1-in-1" in repr(recorder)
