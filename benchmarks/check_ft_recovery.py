@@ -1,0 +1,101 @@
+"""CI gate: failover recovery must stay loss-free and log-bounded.
+
+Usage::
+
+    python benchmarks/check_ft_recovery.py BENCH_ft_recovery.json \
+        [--budget-ms 500]
+
+``benchmarks/test_ft_recovery.py`` kills 1 of 4 replicas mid-run under
+churn and recovers, once per checkpoint interval, with the equivalence
+oracle watching.  This gate re-asserts the recorded guarantees:
+
+- every interval's run was equivalent (loss-free, duplicate-free,
+  state-identical — zero divergences);
+- buffered in-flight packets were all delivered;
+- the replayed-log depth respects the checkpoint bound: the per-replica
+  log is trimmed at every checkpoint, so replay work cannot exceed
+  (checkpoint interval + in-flight buffer), the knob the sweep turns;
+- recovery time stays under a generous wall-clock budget (default
+  500 ms — simulation-scale recoveries run in single-digit ms, the
+  budget only catches pathological blowups).
+
+Exit code 1 on any failure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+
+INTERVALS = (8, 16, 32)
+PER_INTERVAL = (
+    "recovery_ms",
+    "buffered",
+    "delivered",
+    "replayed",
+    "restored",
+    "rebuilt",
+    "equivalent",
+    "divergences",
+)
+
+
+def load_metrics(path: str) -> dict:
+    with open(path) as handle:
+        payload = json.load(handle)
+    return payload["metrics"]
+
+
+def check(metrics: dict, budget_ms: float) -> int:
+    failures = 0
+    required = [
+        f"interval_{interval}_{key}"
+        for interval in INTERVALS
+        for key in PER_INTERVAL
+    ]
+    missing = [key for key in required if key not in metrics]
+    if missing:
+        print(f"FAIL missing metrics: {', '.join(missing)}")
+        return 1
+
+    for interval in INTERVALS:
+        prefix = f"interval_{interval}"
+        equivalent = metrics[f"{prefix}_equivalent"]
+        divergences = metrics[f"{prefix}_divergences"]
+        buffered = metrics[f"{prefix}_buffered"]
+        delivered = metrics[f"{prefix}_delivered"]
+        replayed = metrics[f"{prefix}_replayed"]
+        recovery_ms = metrics[f"{prefix}_recovery_ms"]
+
+        checks = [
+            (equivalent == 1 and divergences == 0,
+             f"equivalent (divergences={divergences})"),
+            (buffered == delivered,
+             f"buffered {buffered} == delivered {delivered}"),
+            (replayed <= interval + buffered,
+             f"replayed {replayed} <= interval {interval} + buffered {buffered}"),
+            (recovery_ms <= budget_ms,
+             f"recovery {recovery_ms:.2f} ms <= budget {budget_ms:.0f} ms"),
+        ]
+        for ok, description in checks:
+            status = "ok" if ok else "FAIL"
+            print(f"{status:4s} interval {interval:3d}: {description}")
+            failures += 0 if ok else 1
+    return 1 if failures else 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("bench_json", help="path to BENCH_ft_recovery.json")
+    parser.add_argument(
+        "--budget-ms",
+        type=float,
+        default=500.0,
+        help="max acceptable recovery wall-clock per failover (ms)",
+    )
+    args = parser.parse_args()
+    return check(load_metrics(args.bench_json), args.budget_ms)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -24,6 +24,12 @@ Commands
     command wrote via ``--metrics-json``/``--metrics-prom``,
     ``--span-out`` and ``--audit-out``.
 
+``ft demo`` / ``ft report``
+    Kill a replica mid-stream under checkpointed fault tolerance and
+    prove the recovery was loss-free (``demo``); render the recovery
+    post-mortem (failure timeline, per-failover table, checkpoint
+    cadence) from a run's audit/metrics artifacts (``report``).
+
 Chain specs are comma-separated NF names, e.g. ``--chain
 nat,maglev,monitor,firewall``.  Each name may repeat; instances are
 numbered.  Run ``python -m repro demo --list-nfs`` to see the catalogue.
@@ -327,6 +333,7 @@ def cmd_scale(args: argparse.Namespace) -> int:
     packets = make_trace_packets(args.flows, args.seed)
     obs = make_observability(args)
     platforms = [name.strip() for name in args.platforms.split(",") if name.strip()]
+    want_ft = args.checkpoint_every is not None or args.kill_at is not None
     rows = []
     for platform_name in platforms:
         baseline_mpps = None
@@ -342,6 +349,19 @@ def cmd_scale(args: argparse.Namespace) -> int:
                 audit=obs.audit,
                 spans=obs.spans,
             )
+            ft = None
+            if want_ft:
+                from repro.ft import FaultInjector, FaultTolerance
+
+                ft = FaultTolerance(
+                    cluster,
+                    checkpoint_interval=args.checkpoint_every or 32,
+                    # A one-replica row has nothing to fail over onto.
+                    injector=FaultInjector(
+                        kill_at=args.kill_at if count > 1 else None,
+                        recover_after=args.recover_after,
+                    ),
+                )
             migrations = 0
             if args.churn:
                 # Establish live flows (FINs withheld so they survive),
@@ -359,27 +379,37 @@ def cmd_scale(args: argparse.Namespace) -> int:
             result = cluster.run_load(
                 clone_packets(packets), inter_arrival_ns=args.gap_ns
             )
+            if ft is not None and ft.dead:
+                ft.recover_all()
             total = result.total
             if baseline_mpps is None:
                 baseline_mpps = total.throughput_mpps
             speedup = (
                 total.throughput_mpps / baseline_mpps if baseline_mpps else 0.0
             )
-            rows.append(
-                [
-                    platform_name,
-                    count,
-                    total.offered,
-                    total.delivered,
-                    f"{total.throughput_mpps:.2f}",
-                    f"{total.latency_percentile(0.99) / 1000.0:.3f}",
-                    f"{speedup:.2f}x",
-                    migrations,
-                ]
-            )
+            row = [
+                platform_name,
+                count,
+                total.offered,
+                total.delivered,
+                f"{total.throughput_mpps:.2f}",
+                f"{total.latency_percentile(0.99) / 1000.0:.3f}",
+                f"{speedup:.2f}x",
+                migrations,
+            ]
+            if want_ft:
+                recovered = sum(r.packets_delivered for r in ft.recoveries)
+                recovery_ms = sum(r.duration_s for r in ft.recoveries) * 1000.0
+                row.extend(
+                    [ft.packets_buffered, recovered, f"{recovery_ms:.2f}"]
+                )
+            rows.append(row)
+    headers = ["platform", "replicas", "offered", "delivered", "Mpps", "p99 us",
+               "vs 1 replica", "migrations"]
+    if want_ft:
+        headers.extend(["buffered", "recovered", "rec ms"])
     print(format_table(
-        ["platform", "replicas", "offered", "delivered", "Mpps", "p99 us",
-         "vs 1 replica", "migrations"],
+        headers,
         rows,
         title=f"replica sweep over chain {args.chain}",
     ))
@@ -409,6 +439,78 @@ def cmd_obs(args: argparse.Namespace) -> int:
         top=args.top,
     ))
     return 0
+
+
+def cmd_ft(args: argparse.Namespace) -> int:
+    if args.action == "report":
+        from repro.ft.report import render_ft_report
+        from repro.obs.report import load_jsonl, load_metrics
+
+        if not args.audit:
+            print("ft report: pass --audit PATH (the run's --audit-out file)",
+                  file=sys.stderr)
+            return 2
+        audit = load_jsonl(args.audit)
+        metrics = load_metrics(args.metrics) if args.metrics else None
+        print(render_ft_report(audit, metrics=metrics))
+        return 0
+
+    # demo: kill a replica mid-stream, recover, prove nothing was lost.
+    from repro.ft import FaultInjector, FaultTolerance
+    from repro.scale import ScaleCluster
+
+    packets = make_trace_packets(args.flows, args.seed)
+    obs = make_observability(args)
+    kill_at = args.kill_at if args.kill_at is not None else len(packets) // 2
+    cluster = ScaleCluster(
+        lambda: build_chain(args.chain),
+        platform=args.platform,
+        replicas=args.replicas,
+        metrics=obs.metrics,
+        tracer=obs.tracer,
+        audit=obs.audit,
+        spans=obs.spans,
+    )
+    ft = FaultTolerance(
+        cluster,
+        checkpoint_interval=args.checkpoint_every,
+        injector=FaultInjector(
+            kill_at=kill_at,
+            replica=args.kill_replica,
+            recover_after=args.recover_after,
+        ),
+    )
+    print(f"chain: {args.chain}   replicas: {args.replicas}   "
+          f"packets: {len(packets)}   kill at: {kill_at}   "
+          f"checkpoint every: {args.checkpoint_every}")
+    live = sum(
+        1 for packet in clone_packets(packets) if cluster.process(packet) is not None
+    )
+    if ft.dead:
+        ft.recover_all()
+    delivered = sum(r.packets_delivered for r in ft.recoveries)
+    rows = [
+        [
+            r.replica,
+            r.flows_restored,
+            r.flows_rebuilt,
+            r.packets_replayed,
+            r.packets_delivered,
+            f"{r.duration_s * 1000.0:.2f}",
+        ]
+        for r in ft.recoveries
+    ]
+    print(format_table(
+        ["killed", "restored", "rebuilt", "replayed", "delivered", "ms"],
+        rows,
+        title=f"failover of replica {ft.injector.replica}",
+    ))
+    lost = len(packets) - live - delivered
+    print(f"offered {len(packets)}  in-stream {live}  buffered {ft.packets_buffered}  "
+          f"recovered {delivered}  lost {lost}")
+    print("LOSS-FREE" if lost == 0 else f"LOST {lost} PACKETS")
+    emit_observability(args, obs)
+    return 0 if lost == 0 else 1
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
@@ -561,9 +663,58 @@ def make_parser() -> argparse.ArgumentParser:
         help="inter-arrival gap of the offered load in ns (default 0)",
     )
     scale.add_argument("--no-speedybox", action="store_true")
+    scale.add_argument(
+        "--checkpoint-every", type=int, default=None, metavar="N",
+        help="enable fault tolerance: checkpoint each replica's flows "
+             "every N packets it receives",
+    )
+    scale.add_argument(
+        "--kill-at", type=int, default=None, metavar="K",
+        help="kill the busiest replica when global packet K arrives "
+             "(rows with >1 replica; implies fault tolerance)",
+    )
+    scale.add_argument(
+        "--recover-after", type=int, default=None, metavar="M",
+        help="auto-recover M packets after the kill (default: recover "
+             "at end of the window)",
+    )
     common(scale)
     observability(scale)
     scale.set_defaults(func=cmd_scale)
+
+    ft = sub.add_parser(
+        "ft", help="fault-tolerance demo and recovery report"
+    )
+    ft.add_argument("action", choices=["demo", "report"], help="what to run")
+    ft.add_argument("--chain", default="nat,monitor,firewall")
+    ft.add_argument("--platform", default="bess", choices=("bess", "onvm"))
+    ft.add_argument(
+        "--replicas", type=int, default=4, metavar="N",
+        help="cluster size for the demo (default 4)",
+    )
+    ft.add_argument(
+        "--checkpoint-every", type=int, default=16, metavar="N",
+        help="checkpoint cadence in packets per replica (default 16)",
+    )
+    ft.add_argument(
+        "--kill-at", type=int, default=None, metavar="K",
+        help="global packet index of the kill (default: mid-stream)",
+    )
+    ft.add_argument(
+        "--kill-replica", type=int, default=None, metavar="R",
+        help="replica to kill (default: the one homing the most flows)",
+    )
+    ft.add_argument(
+        "--recover-after", type=int, default=None, metavar="M",
+        help="auto-recover M packets after the kill (default: at end)",
+    )
+    ft.add_argument("--audit", metavar="PATH",
+                    help="(report) audit-event JSONL file from --audit-out")
+    ft.add_argument("--metrics", metavar="PATH",
+                    help="(report) metrics snapshot JSON or Prometheus text")
+    common(ft)
+    observability(ft)
+    ft.set_defaults(func=cmd_ft)
 
     obs = sub.add_parser(
         "obs", help="render observability artifacts (spans, audit, metrics)"

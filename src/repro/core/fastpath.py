@@ -28,7 +28,10 @@ interpreted path) whenever the closure's assumptions no longer hold:
 - the packet's five-tuple is not the flow's (FID collision);
 - the packet carries TCP FIN/RST (teardown runs interpreted);
 - the Global MAT no longer maps the FID to the compiled rule (deleted,
-  evicted, rebuilt by an event, or replaced by migration);
+  evicted, rebuilt by an event, replaced by migration, or restored from
+  a fault-tolerance checkpoint — ``repro.ft`` goes through the same
+  export/import hooks, so a restore invalidates and the lane recompiles
+  against the restored rule);
 - the classifier no longer tracks the compiled entry;
 - the Event Table holds an *active* event for the flow.
 

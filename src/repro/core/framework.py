@@ -557,15 +557,18 @@ class SpeedyBox:
 
     # -- migration support (repro.scale) -------------------------------------
 
-    def export_flow(self, fid: int) -> Optional[FlowRecord]:
+    def export_flow(self, fid: int, reason: str = "flow_export") -> Optional[FlowRecord]:
         """Detach all runtime state of one flow as an atomic unit.
 
         Returns ``None`` when the classifier knows nothing about the FID.
         The tables are left with no trace of the flow; recorded handlers
         in the returned record still reference *this* runtime's NFs — the
         migrator must rebind them before :meth:`import_flow` on a target.
+        ``reason`` labels the compiled-lane invalidation in the audit log
+        (``flow_export`` for migration, ``checkpoint_capture`` for the
+        fault-tolerance snapshot round-trip).
         """
-        self._invalidate_compiled(fid, reason="flow_export")
+        self._invalidate_compiled(fid, reason=reason)
         entry = self.classifier.export_flow(fid)
         if entry is None:
             return None
@@ -578,13 +581,18 @@ class SpeedyBox:
         record.events = self.event_table.export_flow(fid)
         return record
 
-    def import_flow(self, record: FlowRecord) -> None:
+    def import_flow(self, record: FlowRecord, reason: str = "flow_import") -> None:
         """Install a migrated flow's runtime state into this runtime's tables.
 
         Handlers must already be rebound to this runtime's NF instances;
         NF-internal state (``record.nf_state``) is the migrator's job.
+        ``reason`` labels the compiled-lane invalidation in the audit log
+        (``flow_import`` for migration, ``checkpoint_restore`` when the
+        fault-tolerance subsystem re-installs a snapshot — the restored
+        flow's next packet recompiles its fast lane, observably identical
+        by the compiled/interpreted parity contract).
         """
-        self._invalidate_compiled(record.fid, reason="flow_import")
+        self._invalidate_compiled(record.fid, reason=reason)
         if record.classifier_entry is not None:
             self.classifier.import_flow(record.classifier_entry)
         for name, rule in record.local_rules.items():

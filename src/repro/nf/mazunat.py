@@ -38,8 +38,15 @@ class MazuNAT(NetworkFunction):
         external_ip: str = "203.0.113.1",
         internal_prefix: str = "10.0.0.0/8",
         port_range: Tuple[int, int] = (10000, 60000),
+        port_pool=None,
     ):
         super().__init__(name)
+        #: optional :class:`repro.ft.txstate.SharedPortPool` — when set,
+        #: external ports come from cluster-shared transactional state
+        #: instead of this instance's private allocator, so replicas of a
+        #: NAT can never double-allocate a port and recovery replay
+        #: re-acquires idempotently
+        self.port_pool = port_pool
         self.external_ip = ip_to_int(external_ip)
         prefix, __, length = internal_prefix.partition("/")
         self._internal_base = ip_to_int(prefix)
@@ -88,7 +95,10 @@ class MazuNAT(NetworkFunction):
             return False
         ext_ip, ext_port = mapping
         self.reverse.pop((ext_ip, ext_port, flow.protocol), None)
-        self._free_ports.add(ext_port)
+        if self.port_pool is not None:
+            self.port_pool.release(flow)
+        else:
+            self._free_ports.add(ext_port)
         return True
 
     # -- packet processing ---------------------------------------------------
@@ -97,7 +107,13 @@ class MazuNAT(NetworkFunction):
         mapping = self.mappings.get(flow)
         if mapping is None:
             self.charge(Operation.NAT_PORT_ALLOC)
-            mapping = (self.external_ip, self.allocate_port())
+            if self.port_pool is not None:
+                # Idempotent per flow: a recovery replay of this packet
+                # re-acquires the *same* port the pre-crash run got.
+                port = self.port_pool.acquire(flow)
+            else:
+                port = self.allocate_port()
+            mapping = (self.external_ip, port)
             self.mappings[flow] = mapping
             self.reverse[(mapping[0], mapping[1], flow.protocol)] = flow
         ext_ip, ext_port = mapping

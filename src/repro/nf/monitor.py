@@ -41,9 +41,14 @@ class FlowCounters:
 class Monitor(NetworkFunction):
     """Per-flow traffic accounting."""
 
-    def __init__(self, name: str = "monitor"):
+    def __init__(self, name: str = "monitor", aggregate=None):
         super().__init__(name)
         self.counters: Dict[FiveTuple, FlowCounters] = {}
+        #: optional :class:`repro.ft.txstate.SharedAggregate` — when set,
+        #: every counted packet also lands in a cluster-shared total via
+        #: an idempotent transaction keyed by (flow, per-flow count), so
+        #: recovery replay cannot double-count it
+        self.aggregate = aggregate
 
     def count_packet(self, packet: Packet) -> None:
         """The state function: update the live flow's counters.
@@ -61,7 +66,13 @@ class Monitor(NetworkFunction):
             counters = FlowCounters()
             self.counters[key] = counters
         counters.packets += 1
-        counters.bytes += packet.byte_length()
+        size = packet.byte_length()
+        counters.bytes += size
+        if self.aggregate is not None:
+            # Txn id = (flow, per-flow sequence number): replayed packets
+            # recompute the same id and dedupe, so the shared total stays
+            # exactly-once across failover.
+            self.aggregate.add((str(key), counters.packets), packets=1, bytes_=size)
 
     def process(self, packet: Packet, api: InstrumentationAPI) -> None:
         self.ingress(packet)

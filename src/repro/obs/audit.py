@@ -17,7 +17,15 @@ causal flow identifiers:
   ``migration_transfer`` / ``migration_replay``, one event per phase of
   the freeze-buffer-replay choreography;
 - elasticity — ``scale_out`` / ``scale_in`` / ``autoscale_decision``
-  (the watermark verdict with the signal sample it was based on).
+  (the watermark verdict with the signal sample it was based on);
+- fault tolerance — ``ft_checkpoint`` (snapshot round, with cause) /
+  ``ft_kill`` / ``ft_buffer`` (in-flight packet held for a dead
+  replica) / ``ft_freeze_absorbed`` (crash-during-migration guard) /
+  ``ft_restore`` / ``ft_replay`` / ``ft_failover_complete``, one trail
+  per failure from injection to recovered;
+- transactional shared state — ``txn_abort`` (always) and
+  ``txn_commit`` (opt-in per store/commit: every NAT port draw would
+  be noise), from :class:`repro.ft.txstate.TransactionalStore`.
 
 Events are dicts with a monotonically increasing ``seq`` (deterministic
 — tests assert on it), a wall-clock ``ts`` (injectable clock), the

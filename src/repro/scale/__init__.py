@@ -28,7 +28,9 @@ from repro.scale.migration import (
     MigrationError,
     MigrationReport,
     chain_state_snapshot,
+    export_direction,
     observed_tuples,
+    rebind_record,
     wire_directions,
 )
 from repro.scale.sharder import FlowSharder, IndirectionTable, shard_hash
@@ -46,7 +48,9 @@ __all__ = [
     "ScaleCluster",
     "ScaleDecision",
     "chain_state_snapshot",
+    "export_direction",
     "observed_tuples",
+    "rebind_record",
     "shard_hash",
     "wire_directions",
 ]

@@ -77,6 +77,19 @@ class Autoscaler:
         self.signals = signals or ClusterSignals(cluster.metrics, ring_capacity)
         self.decisions: List[ScaleDecision] = []
         self._windows_since_action = self.config.cooldown_windows
+        self.placement_events: List[str] = []
+        cluster.add_placement_listener(self.note_placement_event)
+
+    def note_placement_event(self, kind: str) -> None:
+        """A placement change happened outside this loop (e.g. failover).
+
+        Re-homing flows perturbs every signal the watermarks read — ring
+        occupancy and core demand both shift with the flows — so treat it
+        exactly like our own scaling action and restart the cooldown:
+        the next window holds while the cluster settles.
+        """
+        self.placement_events.append(kind)
+        self._windows_since_action = 0
 
     # -- pure decision logic --------------------------------------------------
 

@@ -132,6 +132,10 @@ class ScaleCluster:
         #: canonical five-tuple -> replica currently holding its state
         self._flow_homes: Dict[FiveTuple, int] = {}
         self.packets_buffered = 0
+        #: set by :class:`repro.ft.failover.FaultTolerance` when attached —
+        #: the cluster then routes every dispatch through its fault hooks
+        self.ft = None
+        self._placement_listeners: List[Callable[[str], None]] = []
         self._m_replicas = metrics.gauge(
             "cluster_replicas", "chain replicas currently running"
         )
@@ -185,10 +189,14 @@ class ScaleCluster:
     def process(self, packet: Packet) -> Optional[PacketOutcome]:
         """Dispatch one packet to its flow's replica (unloaded mode).
 
-        Returns ``None`` when the flow is frozen mid-migration — the
-        packet is buffered and will be replayed, in order, on the target
-        replica when the migration completes.
+        Returns ``None`` when the packet cannot be processed *yet*: the
+        flow is frozen mid-migration (buffered, replayed on the target
+        when the migration completes) or its home replica is dead
+        (buffered by the fault-tolerance coordinator, delivered in order
+        when failover completes).
         """
+        if self.ft is not None:
+            self.ft.tick(packet)
         key = packet.five_tuple().canonical()
         buffer = self._frozen.get(key)
         if buffer is not None:
@@ -198,7 +206,14 @@ class ScaleCluster:
             self.audit.emit("migration_buffer", flow=str(key), buffered=len(buffer))
             return None
         rid = self.home_of(key)
+        if self.ft is not None and self.ft.is_dead(rid):
+            # Don't record a home: a *new* flow hashed onto the dead
+            # replica gets a fresh home after the sharder rebalances.
+            self.ft.buffer_packet(rid, packet)
+            return None
         self._flow_homes[key] = rid
+        if self.ft is not None:
+            self.ft.note_dispatch(packet, key, rid)
         outcome = self.replicas[rid].platform.process(packet)
         self._note_egress(packet, key, rid)
         return outcome
@@ -238,15 +253,29 @@ class ScaleCluster:
             raise MigrationError(
                 f"cannot run load with {len(self._frozen)} flow(s) frozen mid-migration"
             )
-        plans: Dict[int, list] = {rid: [] for rid in self.replicas}
-        gaps: Dict[int, List[float]] = {rid: [] for rid in self.replicas}
-        dropped: Dict[int, int] = {rid: 0 for rid in self.replicas}
+        # A fault injected mid-window removes a replica from self.replicas;
+        # its pre-kill packets must still count in the timing replay, so
+        # the window's participant set is fixed up front (recovery never
+        # spawns new replicas, it re-homes onto survivors).
+        participants = dict(self.replicas)
+        plans: Dict[int, list] = {rid: [] for rid in participants}
+        gaps: Dict[int, List[float]] = {rid: [] for rid in participants}
+        dropped: Dict[int, int] = {rid: 0 for rid in participants}
         last_arrival: Dict[int, float] = {}
         for index, packet in enumerate(packets):
             arrival = index * inter_arrival_ns
+            if self.ft is not None:
+                self.ft.tick(packet)
             key = packet.five_tuple().canonical()
             rid = self.home_of(key)
+            if self.ft is not None and self.ft.is_dead(rid):
+                # Buffered against the dead replica: delivered (and its
+                # outcome counted) by recovery, outside this timing run.
+                self.ft.buffer_packet(rid, packet)
+                continue
             self._flow_homes[key] = rid
+            if self.ft is not None:
+                self.ft.note_dispatch(packet, key, rid)
             platform = self.replicas[rid].platform
             outcome = platform.process(packet)
             self._note_egress(packet, key, rid)
@@ -263,11 +292,11 @@ class ScaleCluster:
         # numbers, one O(hops) loop each instead of a shared event loop).
         analytic = self.physical_cores is None and all(
             replica.platform._analytic_valid(plans[rid])
-            for rid, replica in self.replicas.items()
+            for rid, replica in participants.items()
         )
         if analytic:
             runs = {}
-            for rid, replica in self.replicas.items():
+            for rid, replica in participants.items():
                 platform = replica.platform
                 arrival_at, completions = analytic_replay(
                     plans[rid],
@@ -280,7 +309,7 @@ class ScaleCluster:
                 )
         else:
             engine = Engine()
-            any_platform = next(iter(self.replicas.values())).platform
+            any_platform = next(iter(participants.values())).platform
             any_platform._attach_observer(engine)
             core_pool = None
             if self.physical_cores is not None:
@@ -289,7 +318,7 @@ class ScaleCluster:
                 rid: replica.platform._spawn_pipeline(
                     engine, plans[rid], gaps[rid], core_pool=core_pool
                 )
-                for rid, replica in self.replicas.items()
+                for rid, replica in participants.items()
             }
             engine.run()
 
@@ -297,7 +326,7 @@ class ScaleCluster:
         busy_ns: Dict[int, float] = {}
         for rid, run in runs.items():
             if not analytic:
-                self.replicas[rid].platform._publish_load_metrics(run.rings)
+                participants[rid].platform._publish_load_metrics(run.rings)
             per_replica[rid] = run.to_load_result(
                 offered=len(plans[rid]), dropped=dropped[rid]
             )
@@ -319,7 +348,12 @@ class ScaleCluster:
         key = flow.canonical()
         if key in self._frozen:
             raise MigrationError(f"flow {flow} is already frozen")
-        src_nfs = self.replicas[self.home_of(key)].runtime.nfs
+        home = self.home_of(key)
+        if home not in self.replicas:
+            raise MigrationError(
+                f"flow {flow} is homed on dead replica {home}; recover it first"
+            )
+        src_nfs = self.replicas[home].runtime.nfs
         group: List[FiveTuple] = []
         for direction in wire_directions(src_nfs, key):
             canonical = direction.canonical()
@@ -355,14 +389,26 @@ class ScaleCluster:
             self._freeze_groups[key] = group
             raise MigrationError(f"unknown replica {dst_replica_id!r}")
         src_rid = self.home_of(key)
+        if src_rid not in self.replicas:
+            # Unreachable through the public flow: a kill absorbs the
+            # freeze buffers of the dead replica's frozen flows, so this
+            # group would already be gone.  Guard anyway.
+            self._freeze_groups[key] = group
+            raise MigrationError(
+                f"flow {flow} is homed on dead replica {src_rid}; recover it first"
+            )
+        # The buffer is complete before the transfer starts — the flow is
+        # frozen and the model single-threaded — so the migrator's audit
+        # record can carry the exact replay count.
+        buffered = self._frozen[key]
         report: Optional[MigrationReport] = None
         if src_rid != dst_replica_id:
             report = self.migrator.migrate(
                 self.replicas[src_rid].runtime,
                 self.replicas[dst_replica_id].runtime,
                 key,
+                replayed=len(buffered),
             )
-        buffered = self._frozen[key]
         for member in group:
             del self._frozen[member]
             if member in self._flow_homes or member == key:
@@ -385,8 +431,15 @@ class ScaleCluster:
             src=src_rid,
             dst=dst_replica_id,
             buffered=len(buffered),
+            replayed=len(outcomes),
             moved=report is not None,
         )
+        if self.ft is not None and report is not None:
+            # The flow's checkpoint still points at the source replica —
+            # and the freeze-buffer replays above bypassed the input log.
+            # Re-snapshot on the destination so a failure there recovers
+            # the post-migration state.
+            self.ft.on_flow_migrated(key, src_rid, dst_replica_id)
         return report, outcomes
 
     def migrate_flow(
@@ -433,6 +486,7 @@ class ScaleCluster:
             self._migrate_rehomed_flows()
         self._m_replicas.set(len(self.replicas))
         self.audit.emit("scale_out", replica=rid, replicas=len(self.replicas))
+        self.notify_placement("scale_out")
         return rid
 
     def scale_in(self) -> int:
@@ -450,6 +504,7 @@ class ScaleCluster:
         del self.replicas[rid]
         self._m_replicas.set(len(self.replicas))
         self.audit.emit("scale_in", replica=rid, replicas=len(self.replicas))
+        self.notify_placement("scale_in")
         return rid
 
     def _migrate_rehomed_flows(self) -> List[MigrationReport]:
@@ -462,6 +517,22 @@ class ScaleCluster:
                 if report is not None:
                     reports.append(report)
         return reports
+
+    # -- placement events -----------------------------------------------------
+
+    def add_placement_listener(self, listener: Callable[[str], None]) -> None:
+        """Subscribe to placement changes made outside the autoscaler.
+
+        A failover re-homes flows exactly like a scaling action does, so
+        the autoscaler subscribes here to restart its cooldown — without
+        this, it could pile a scale decision onto a cluster still
+        settling from recovery.
+        """
+        self._placement_listeners.append(listener)
+
+    def notify_placement(self, kind: str) -> None:
+        for listener in self._placement_listeners:
+            listener(kind)
 
     # -- introspection --------------------------------------------------------
 

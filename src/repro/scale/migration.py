@@ -61,6 +61,8 @@ class MigrationReport:
     global_rules_moved: int = 0
     events_moved: int = 0
     handlers_rebound: int = 0
+    #: freeze-buffer packets the caller replays on the target
+    packets_replayed: int = 0
 
     def total_items(self) -> int:
         return (
@@ -124,6 +126,83 @@ def chain_state_snapshot(
     return snapshot
 
 
+def export_direction(src: SpeedyBox, direction: FiveTuple, reason: str = "flow_export"):
+    """Export one direction's SpeedyBox tables, tolerating FID collisions.
+
+    Returns ``None`` (moving nothing) when the 20-bit FID of
+    ``direction`` belongs to a different live flow — the record is put
+    back untouched.  Shared by the migrator and the checkpoint capture
+    path (:mod:`repro.ft.checkpoint`), which must skip exactly the same
+    collided directions; ``reason`` labels the compiled-lane
+    invalidation in the audit log.
+    """
+    fid = fid_of(direction)
+    record = src.export_flow(fid, reason=reason)
+    if record is None:
+        return None
+    entry = record.classifier_entry
+    if entry is not None and entry.five_tuple != direction:
+        src.import_flow(record, reason=reason)
+        return None
+    return record
+
+
+def rebind_record(
+    record: FlowRecord,
+    src_nfs: Sequence[NetworkFunction],
+    dst_nfs: Sequence[NetworkFunction],
+) -> int:
+    """Re-home every recorded handler in ``record`` from src NFs to dst NFs.
+
+    Local-MAT state functions, Global-MAT schedule batches and event
+    conditions are bound methods of (and may take as arguments) the
+    source chain's NF instances; importing the record anywhere else
+    requires rebinding each to the same-positioned NF on the target.
+    Used by the migrator and by checkpoint restore
+    (:mod:`repro.ft.checkpoint`), where the "source" is a dead replica's
+    still-live NF objects.  Returns the number of handlers rebound.
+    """
+    nf_map = {id(s): d for s, d in zip(src_nfs, dst_nfs)}
+    rebound = 0
+
+    def rebind(handler: Callable) -> Callable:
+        nonlocal rebound
+        owner = getattr(handler, "__self__", None)
+        target = nf_map.get(id(owner)) if owner is not None else None
+        if target is None:
+            return handler
+        rebound += 1
+        return handler.__func__.__get__(target)
+
+    def rebind_args(args: tuple) -> tuple:
+        return tuple(
+            nf_map.get(id(arg), arg) if isinstance(arg, NetworkFunction) else arg
+            for arg in args
+        )
+
+    def rebind_functions(functions) -> None:
+        for fn in functions:
+            fn.handler = rebind(fn.handler)
+            fn.args = rebind_args(fn.args)
+
+    for rule in record.local_rules.values():
+        rebind_functions(rule.sf_batch)
+    if record.global_rule is not None:
+        # Usually the same StateFunction objects as the local rules
+        # (build_rule shares batches); rebinding is idempotent.
+        for wave in record.global_rule.schedule.waves:
+            for batch in wave:
+                rebind_functions(batch)
+    for event in record.events:
+        event.condition = rebind(event.condition)
+        event.args = rebind_args(event.args)
+        if event.update_function is not None:
+            event.update_function = rebind(event.update_function)
+        if event.update_state_functions is not None:
+            rebind_functions(event.update_state_functions)
+    return rebound
+
+
 class FlowMigrator:
     """Atomic flow-state transfer between same-shape chain runtimes."""
 
@@ -146,16 +225,19 @@ class FlowMigrator:
     # -- the protocol ---------------------------------------------------------
 
     def migrate(
-        self, src: Runtime, dst: Runtime, flow: FiveTuple
+        self, src: Runtime, dst: Runtime, flow: FiveTuple, replayed: int = 0
     ) -> MigrationReport:
         """Move every trace of ``flow`` (both directions) from src to dst.
 
-        The caller must have frozen the flow's traffic first.  Raises
-        :class:`MigrationError` when the chains are not the same shape or
-        exactly one side is a SpeedyBox runtime.
+        The caller must have frozen the flow's traffic first, and passes
+        ``replayed`` — the freeze-buffer packet count it will replay on
+        the target — so the audit trail records how much traffic each
+        transfer displaced (comparable to the recovery trail's replay
+        counts).  Raises :class:`MigrationError` when the chains are not
+        the same shape or exactly one side is a SpeedyBox runtime.
         """
         src_nfs, dst_nfs = self._paired_nfs(src, dst)
-        report = MigrationReport(flow=flow)
+        report = MigrationReport(flow=flow, packets_replayed=replayed)
 
         # Phase 1: derive the flow's wire directions (a NAT'd flow's
         # return traffic arrives on the *translated* tuple) and each NF's
@@ -175,9 +257,7 @@ class FlowMigrator:
                 report.local_rules_moved += len(record.local_rules)
                 report.global_rules_moved += int(record.global_rule is not None)
                 report.events_moved += len(record.events)
-                report.handlers_rebound += self._rebind_record(
-                    record, src_nfs, dst_nfs
-                )
+                report.handlers_rebound += rebind_record(record, src_nfs, dst_nfs)
                 dst.import_flow(record)
 
         # Phase 3: move the NFs' own per-flow state at each observed key.
@@ -198,6 +278,7 @@ class FlowMigrator:
             fids=list(report.fids),
             items=report.total_items(),
             rebound=report.handlers_rebound,
+            replayed=replayed,
         )
         if self.tracer.enabled:
             self.tracer.instant(
@@ -230,61 +311,4 @@ class FlowMigrator:
 
     def _export_direction(self, src: SpeedyBox, direction: FiveTuple):
         """Export one direction's tables, tolerating FID collisions."""
-        fid = fid_of(direction)
-        record = src.export_flow(fid)
-        if record is None:
-            return None
-        entry = record.classifier_entry
-        if entry is not None and entry.five_tuple != direction:
-            # The 20-bit FID belongs to a different live flow: put it
-            # back untouched and move nothing for this direction.
-            src.import_flow(record)
-            return None
-        return record
-
-    def _rebind_record(
-        self,
-        record: FlowRecord,
-        src_nfs: Sequence[NetworkFunction],
-        dst_nfs: Sequence[NetworkFunction],
-    ) -> int:
-        """Re-home every recorded handler from src NFs to dst NFs."""
-        nf_map = {id(s): d for s, d in zip(src_nfs, dst_nfs)}
-        rebound = 0
-
-        def rebind(handler: Callable) -> Callable:
-            nonlocal rebound
-            owner = getattr(handler, "__self__", None)
-            target = nf_map.get(id(owner)) if owner is not None else None
-            if target is None:
-                return handler
-            rebound += 1
-            return handler.__func__.__get__(target)
-
-        def rebind_args(args: tuple) -> tuple:
-            return tuple(
-                nf_map.get(id(arg), arg) if isinstance(arg, NetworkFunction) else arg
-                for arg in args
-            )
-
-        def rebind_functions(functions) -> None:
-            for fn in functions:
-                fn.handler = rebind(fn.handler)
-                fn.args = rebind_args(fn.args)
-
-        for rule in record.local_rules.values():
-            rebind_functions(rule.sf_batch)
-        if record.global_rule is not None:
-            # Usually the same StateFunction objects as the local rules
-            # (build_rule shares batches); rebinding is idempotent.
-            for wave in record.global_rule.schedule.waves:
-                for batch in wave:
-                    rebind_functions(batch)
-        for event in record.events:
-            event.condition = rebind(event.condition)
-            event.args = rebind_args(event.args)
-            if event.update_function is not None:
-                event.update_function = rebind(event.update_function)
-            if event.update_state_functions is not None:
-                rebind_functions(event.update_state_functions)
-        return rebound
+        return export_direction(src, direction)

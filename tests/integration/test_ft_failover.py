@@ -1,0 +1,290 @@
+"""Failover end to end: kill a replica mid-run, recover, lose nothing.
+
+Drives the whole ``repro.ft`` stack through the cluster's public
+surface: the equivalence oracle under churn, the crash-during-migration
+guard, cross-replica port-pool safety under concurrent failures, the
+migration audit trail's replay counts, and the autoscaler's reaction to
+a failover placement event.
+"""
+
+import pytest
+
+from repro.ft import (
+    FailoverError,
+    FaultInjector,
+    FaultTolerance,
+    SharedAggregate,
+    SharedPortPool,
+    TransactionalStore,
+    verify_equivalence_failover,
+)
+from repro.obs.audit import AuditLog
+from repro.scale import Autoscaler, AutoscalerConfig, MigrationError, ScaleCluster
+from repro.traffic import FlowSpec, TrafficGenerator
+from repro.nf import IPFilter, MazuNAT, Monitor
+
+PORTS = (20000, 60000)
+EXTERNAL_IP = "203.0.113.80"
+
+
+def reference_chain():
+    return [
+        MazuNAT("nat", external_ip=EXTERNAL_IP, port_range=PORTS),
+        Monitor("mon"),
+        IPFilter("fw"),
+    ]
+
+
+def shared_state():
+    store = TransactionalStore()
+    pool = SharedPortPool(store, port_range=PORTS)
+    aggregate = SharedAggregate(store, name="mon_total")
+    return store, pool, aggregate
+
+
+def cluster_chain_factory(pool, aggregate):
+    def chain():
+        return [
+            MazuNAT("nat", external_ip=EXTERNAL_IP, port_range=PORTS, port_pool=pool),
+            Monitor("mon", aggregate=aggregate),
+            IPFilter("fw"),
+        ]
+
+    return chain
+
+
+def workload(flows=24, packets_per_flow=10, fin_every=3, seed=9):
+    specs = [
+        FlowSpec.tcp(
+            f"10.3.{i // 200}.{i % 200 + 1}",
+            f"99.2.0.{i % 20 + 1}",
+            6000 + i,
+            80,
+            packets=packets_per_flow,
+            handshake=True,
+            fin=(fin_every is not None and i % fin_every == 0),
+        )
+        for i in range(flows)
+    ]
+    return TrafficGenerator(specs, interleave="round_robin", seed=seed).packets()
+
+
+class TestFailoverOracle:
+    def test_kill_one_of_four_under_churn_is_equivalent(self):
+        """The acceptance scenario: 4 replicas, churned flows, one dies
+        mid-run — recovery is loss-free, duplicate-free, state-identical."""
+        __, pool, aggregate = shared_state()
+        packets = workload()
+        report = verify_equivalence_failover(
+            reference_chain,
+            packets,
+            kill_at=len(packets) // 2,
+            cluster_chain_factory=cluster_chain_factory(pool, aggregate),
+            replicas=4,
+            checkpoint_interval=16,
+            recover_after=24,
+            churn=4,
+        )
+        assert report.equivalent, report.summary()
+        assert report.buffered_packets == report.delivered_packets
+        assert report.flows_restored + report.flows_rebuilt > 0
+        # the shared aggregate counted every offered packet exactly once
+        assert aggregate.packets == len(packets)
+
+    def test_flows_born_after_last_checkpoint_rebuild_from_log(self):
+        """An interval larger than the stream means no flow ever got a
+        snapshot — recovery is pure log replay, and still equivalent."""
+        __, pool, aggregate = shared_state()
+        packets = workload(flows=12, packets_per_flow=6)
+        report = verify_equivalence_failover(
+            reference_chain,
+            packets,
+            kill_at=len(packets) // 3,
+            cluster_chain_factory=cluster_chain_factory(pool, aggregate),
+            replicas=2,
+            checkpoint_interval=10 * len(packets),
+            recover_after=10,
+        )
+        assert report.equivalent, report.summary()
+        assert report.flows_restored == 0
+        assert report.flows_rebuilt > 0
+
+    def test_recovery_at_end_of_stream(self):
+        """recover_after=None leaves the replica dead until the caller
+        recovers — buffered traffic is delivered then, still loss-free."""
+        __, pool, aggregate = shared_state()
+        packets = workload(flows=16, packets_per_flow=8)
+        report = verify_equivalence_failover(
+            reference_chain,
+            packets,
+            kill_at=int(len(packets) * 0.75),
+            cluster_chain_factory=cluster_chain_factory(pool, aggregate),
+            replicas=3,
+            checkpoint_interval=8,
+        )
+        assert report.equivalent, report.summary()
+        assert report.buffered_packets > 0
+
+
+class TestCrashDuringMigration:
+    def test_freeze_buffer_is_absorbed_and_delivered_once(self):
+        """Killing a replica while one of its flows is frozen mid-migration
+        must deliver that freeze buffer exactly once (via recovery) and
+        cancel the migration."""
+        cluster = ScaleCluster(reference_chain, replicas=4)
+        ft = FaultTolerance(cluster, checkpoint_interval=8)
+        packets = workload(flows=8, packets_per_flow=8, fin_every=None)
+        half = len(packets) // 2
+        for packet in packets[:half]:
+            cluster.process(packet)
+
+        key = sorted(cluster.flow_homes())[0]
+        home = cluster.home_of(key)
+        cluster.begin_migration(key)
+        frozen = [
+            p for p in packets[half:] if p.five_tuple().canonical() == key
+        ][:2]
+        for packet in frozen:
+            assert cluster.process(packet) is None  # buffered by the freeze
+
+        ft.kill(home)
+        assert ft.dead[home].frozen_absorbed == len(frozen)
+        assert not cluster._freeze_groups  # migration cancelled
+
+        # completing the cancelled migration must refuse, not double-replay
+        survivor = sorted(cluster.replicas)[0]
+        with pytest.raises(MigrationError):
+            cluster.complete_migration(key, survivor)
+
+        report = ft.recover(home)
+        assert report.packets_delivered >= len(frozen)
+        total = sum(
+            replica.runtime.nfs[1].total_packets()
+            for replica in cluster.replicas.values()
+        )
+        assert total == half + len(frozen)  # exactly once, no double delivery
+
+    def test_begin_migration_refuses_dead_home(self):
+        cluster = ScaleCluster(reference_chain, replicas=2)
+        ft = FaultTolerance(cluster, checkpoint_interval=8)
+        packets = workload(flows=4, packets_per_flow=4, fin_every=None)
+        for packet in packets:
+            cluster.process(packet)
+        key = sorted(cluster.flow_homes())[0]
+        ft.kill(cluster.home_of(key))
+        with pytest.raises(MigrationError):
+            cluster.begin_migration(key)
+
+
+class TestSharedPoolUnderFailover:
+    def test_no_port_double_allocation_across_concurrent_failovers(self):
+        """Two replicas die back to back; the survivors rebuild their
+        flows by replay.  Every flow keeps its original port and no port
+        serves two flows — the pinned acceptance property."""
+        store, pool, aggregate = shared_state()
+        cluster = ScaleCluster(cluster_chain_factory(pool, aggregate), replicas=4)
+        ft = FaultTolerance(cluster, checkpoint_interval=12, store=store)
+        packets = workload(flows=20, packets_per_flow=8, fin_every=None)
+        two_thirds = 2 * len(packets) // 3
+        for packet in packets[:two_thirds]:
+            cluster.process(packet)
+
+        before = pool.allocated()
+        victims = sorted(cluster.replicas)[:2]
+        for rid in victims:
+            ft.kill(rid)
+        for packet in packets[two_thirds:]:
+            cluster.process(packet)  # buffers against both dead replicas
+        reports = ft.recover_all()
+        assert len(reports) == 2
+
+        after = pool.allocated()
+        assert after == before  # replay re-acquired, never re-allocated
+        ports = list(after.values())
+        assert len(ports) == len(set(ports))  # no port serves two flows
+        # every offered packet went through exactly once
+        total = sum(
+            replica.runtime.nfs[1].total_packets()
+            for replica in cluster.replicas.values()
+        )
+        assert total == len(packets)
+        assert aggregate.packets == len(packets)
+
+    def test_cannot_kill_the_last_replica(self):
+        cluster = ScaleCluster(reference_chain, replicas=1)
+        ft = FaultTolerance(cluster, checkpoint_interval=8)
+        with pytest.raises(FailoverError):
+            ft.kill(0)
+
+
+class TestAuditTrail:
+    def test_migration_transfer_records_replayed_count(self):
+        """Satellite fix: the migrator's audit event carries how many
+        freeze-buffered packets the caller replays on the target."""
+        audit = AuditLog()
+        cluster = ScaleCluster(reference_chain, replicas=2, audit=audit)
+        packets = workload(flows=4, packets_per_flow=6, fin_every=None)
+        half = len(packets) // 2
+        for packet in packets[:half]:
+            cluster.process(packet)
+        key = sorted(cluster.flow_homes())[0]
+        src = cluster.home_of(key)
+        dst = next(rid for rid in cluster.replicas if rid != src)
+        cluster.begin_migration(key)
+        held = [p for p in packets[half:] if p.five_tuple().canonical() == key][:3]
+        for packet in held:
+            cluster.process(packet)
+        cluster.complete_migration(key, dst)
+
+        transfer = audit.last("migration_transfer")
+        assert transfer["replayed"] == len(held)
+        replay = audit.last("migration_replay")
+        assert replay["buffered"] == replay["replayed"] == len(held)
+
+    def test_failover_emits_the_full_event_sequence(self):
+        audit = AuditLog()
+        cluster = ScaleCluster(reference_chain, replicas=3, audit=audit)
+        ft = FaultTolerance(cluster, checkpoint_interval=8)
+        packets = workload(flows=9, packets_per_flow=8, fin_every=None)
+        for packet in packets[: 2 * len(packets) // 3]:
+            cluster.process(packet)
+        victim = ft.kill()
+        for packet in packets[2 * len(packets) // 3:]:
+            cluster.process(packet)
+        ft.recover(victim)
+
+        counts = audit.counts()
+        for kind in ("ft_checkpoint", "ft_kill", "ft_buffer", "ft_restore",
+                     "ft_replay", "ft_failover_complete"):
+            assert counts.get(kind, 0) > 0, f"missing {kind} events"
+        complete = audit.last("ft_failover_complete")
+        assert complete["replica"] == victim
+        assert complete["delivered"] == ft.packets_buffered
+
+
+class TestAutoscalerPlacementEvents:
+    def test_failover_restarts_the_cooldown(self):
+        """A failover during the window counts as a placement event: the
+        next autoscaler decision holds in cooldown instead of piling a
+        scale action onto a still-settling cluster."""
+        cluster = ScaleCluster(reference_chain, replicas=3)
+        ft = FaultTolerance(
+            cluster,
+            checkpoint_interval=16,
+            injector=FaultInjector(kill_at=40, recover_after=20),
+        )
+        scaler = Autoscaler(
+            cluster,
+            # watermarks that always read as pressure, so only the
+            # cooldown can hold the decision back
+            AutoscalerConfig(high_ring_occupancy=0.0, high_core_utilisation=0.0,
+                             cooldown_windows=1, max_replicas=8),
+        )
+        packets = workload(flows=12, packets_per_flow=10, fin_every=None)
+        decision = scaler.step(packets)
+        assert "failover" in scaler.placement_events
+        assert decision.action == 0 and decision.reason == "cooldown"
+        assert len(ft.recoveries) == 1
+        # the window after the quiet one is free to scale again
+        decision = scaler.step(workload(flows=6, packets_per_flow=4, seed=3))
+        assert decision.action == +1
