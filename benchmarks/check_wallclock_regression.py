@@ -35,8 +35,39 @@ def case_names(metrics: dict):
     return sorted(key[: -len(_SUFFIX)] for key in metrics if key.endswith(_SUFFIX))
 
 
-def check(baseline: dict, current: dict, threshold: float) -> int:
+#: lane-only scale cells (no legacy twin — it would take minutes):
+#: ``<case>_s_per_100k`` normalised by the named reference case's legacy leg
+_SCALE_CELLS = {"bess_batch_10m": "bess_batch_1m"}
+
+
+def check_scale_cells(baseline: dict, current: dict, threshold: float) -> int:
     failures = 0
+    for case, reference in _SCALE_CELLS.items():
+        base_fast = baseline.get(f"{case}_s_per_100k")
+        if base_fast is None:
+            continue
+        cur_fast = current.get(f"{case}_s_per_100k")
+        base_legacy = baseline.get(f"{reference}_legacy_s_per_100k")
+        cur_legacy = current.get(f"{reference}_legacy_s_per_100k")
+        if cur_fast is None or base_legacy is None or cur_legacy is None:
+            print(f"FAIL {case}: missing from current results")
+            failures += 1
+            continue
+        machine_scale = cur_legacy / base_legacy
+        allowed = base_fast * machine_scale * (1.0 + threshold)
+        status = "ok" if cur_fast <= allowed else "FAIL"
+        print(
+            f"{status:4s} {case}: lane {cur_fast:.3f}s/100k "
+            f"(baseline {base_fast:.3f}, machine x{machine_scale:.2f}, "
+            f"allowed {allowed:.3f}, speedup {cur_legacy / cur_fast:.1f}x)"
+        )
+        if cur_fast > allowed:
+            failures += 1
+    return failures
+
+
+def check(baseline: dict, current: dict, threshold: float) -> int:
+    failures = check_scale_cells(baseline, current, threshold)
     for case in case_names(baseline):
         base_fast = baseline[f"{case}_fast_s_per_100k"]
         base_legacy = baseline[f"{case}_legacy_s_per_100k"]

@@ -1,0 +1,854 @@
+"""The whole-batch fast-path lane (batch engine, part 2).
+
+The per-packet engine — even with compiled flow closures — pays Python
+dispatch per packet: materialize a :class:`~repro.net.packet.Packet`,
+probe the compiled table, run the closure.  At 10M packets that is tens
+of seconds of interpreter overhead for work whose *outcome* is already
+known per flow.  The batch lane removes the per-packet layer entirely
+for the steady-state majority of a :class:`~repro.traffic.columnar.PacketBatch`:
+
+- a chunked walk over the ``kind``/``flow_index`` columns splits the
+  batch into *steady runs* (runs of data packets whose flows are
+  believed compiled) and scalar packets (everything else);
+- each steady run is validated when it is *appended*: every distinct
+  flow's compiled closure is checked once and cached for the rest of
+  the batch (``_vmask``/``_vclone``), so a warm run costs one vectorized
+  mask gather.  Validated runs accumulate in a **deferred region** —
+  no per-flow bookkeeping yet, just the ``(lo, hi)`` slice;
+- the region is **flushed** — per-flow packet counts, rule hits, drop
+  totals and Global-MAT LRU touches in last-occurrence order, all from
+  one ``np.unique`` pass over the concatenated slices — only when a
+  scalar packet that could observe or mutate runtime state is about to
+  run, and once at the end of the batch;
+- scalar packets that provably cannot interact with deferred state —
+  data packets of FID-*collided* flows, which the classifier pins to
+  the slow path before touching any table — do **not** flush, so a few
+  collided flows sprinkled through millions of steady packets no longer
+  fragment the region into per-flow crumbs;
+- any other scalar packet — first packets, handshake and FIN/RST,
+  fast-path misses, invalidated closures — flushes, then is
+  materialized and handed to ``SpeedyBox.process``, the unmodified
+  oracle;
+- first packets of *flow-setup-oblivious* chains skip even that: after
+  one scalar first packet establishes a template, subsequent new flows
+  are **bulk admitted** — classifier entry, Local MAT records, Global
+  MAT rule (:meth:`~repro.core.global_mat.GlobalMAT.install_prebuilt`)
+  and the compiled closure (cloned straight from the template's, the
+  setup-memo contract) are installed directly, operation-for-operation
+  what the memoized slow path would have done, without materializing a
+  packet or running an NF.
+
+Correctness contract: a batch-lane run leaves the runtime in the same
+state — tables, counters, audit stream, LRU order — and produces the
+same :class:`~repro.platform.base.LoadResult` (exact float equality on
+every latency) as feeding ``batch.packet_view()`` through the legacy
+per-packet path.  Three rules keep that true:
+
+- validation happens at append time and every operation that could
+  invalidate a closure flushes the region first, so nothing in a
+  deferred region can go stale before its flush: the runtime feeds
+  every compiled-lane mutation's FID through ``_lane_invalidations``
+  (drained before each append), and the one mutation that feed cannot
+  see — an NF activating an event on a cached FID mid-traversal — is
+  caught by an event-table probe after every scalar packet;
+- deferred serving performs exactly the per-flow effects the per-packet
+  sequence would have had: counters are commutative sums, no audit is
+  emitted on the fast lane, and one LRU touch per flow in
+  last-occurrence order equals the final recency order of the
+  per-packet touches (collided scalars between runs never touch the
+  LRU, so deferring across them reorders nothing);
+- bulk admission mirrors the memoized slow path exactly (same inserts,
+  same eviction check, same audit events in the same order) and is
+  gated on every NF declaring ``setup_flow_oblivious`` — the contract
+  that first-packet behaviour is a pure function of packet shape.
+
+The lane needs no numpy: without it the chunked walk degenerates to a
+per-packet loop over the same state machine (runs of length one, no
+deferral), so results are identical either way — numpy only buys speed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro import vector as vec
+from repro.core.classifier import FlowEntry, fid_column, fid_of
+from repro.core.framework import PathTaken, SpeedyBox
+from repro.core.global_mat import GlobalRule
+from repro.core.local_mat import LocalRule
+from repro.core.state_function import StateFunctionBatch
+from repro.net.flow import FiveTuple, PROTO_UDP
+from repro.obs.registry import NULL_INSTRUMENT
+from repro.traffic.columnar import KIND_DATA, PacketBatch
+
+#: packets per chunk of the steady-mask walk (numpy path)
+_CHUNK = 32768
+
+
+class BulkTemplate:
+    """Everything needed to admit a new flow without running the chain."""
+
+    __slots__ = (
+        "rule",
+        "compiled",
+        "ran",
+        "mat_plumbing",
+        "dropped",
+        "original_pid",
+        "steady_pid",
+        "steady_plan",
+        "waves",
+        "drop_action",
+    )
+
+    def __init__(self, rule, compiled, ran, mat_plumbing, dropped, original_pid,
+                 steady_pid, steady_plan, waves, drop_action):
+        #: the template GlobalRule whose artifacts install_prebuilt shares
+        self.rule = rule
+        #: the template flow's compiled closure; admitted flows clone it
+        #: (``clone_for``), exactly what ``compile_flow`` under the setup
+        #: memo would return, minus the dispatch
+        self.compiled = compiled
+        #: how many NFs ran before the chain ended (drop templates stop early)
+        self.ran = ran
+        #: per-NF ``(local_mat, actions_or_None, action_count)`` — the
+        #: record state every admitted flow receives, prebound so the
+        #: admission loop is free of name lookups
+        self.mat_plumbing = mat_plumbing
+        self.dropped = dropped
+        #: plan-table id of the first-packet stage plan
+        self.original_pid = original_pid
+        #: plan-table id (and the shared plan object) of the steady plan
+        self.steady_pid = steady_pid
+        self.steady_plan = steady_plan
+        #: audit payload constants (template-invariant by construction)
+        self.waves = waves
+        self.drop_action = drop_action
+
+
+class BatchLane:
+    """One batch run's lane state; construct per ``run_load`` call."""
+
+    def __init__(self, platform, batch: PacketBatch):
+        self.platform = platform
+        self.batch = batch
+        self.runtime = platform.runtime
+        self.dropped = 0
+        #: packets served by whole-run array ops (lane introspection)
+        self.span_packets = 0
+        #: flows installed by bulk admission (lane introspection)
+        self.admitted = 0
+        #: the stage-plan table the replay consumes; ``plan_ids[i]``
+        #: indexes into it.  Plans are deduplicated by value, so the
+        #: table stays tiny no matter how many flows the batch holds.
+        self.table: List[list] = []
+        self._pid_by_value: Dict[tuple, int] = {}
+        flow_count = batch.flow_count
+        n = len(batch)
+        #: per-flow hint: 1 = last seen compiled-steady.  A stale hint
+        #: is always safe — 0 routes to the scalar oracle, 1 is
+        #: re-validated against the live compiled table at append.
+        #: Bytearray-backed with a zero-copy numpy view: scalar stores
+        #: (one per admission) hit the bytearray, vector gathers (one
+        #: per chunk) go through the view over the same memory.
+        self.fstat = bytearray(flow_count)
+        #: 1 = ``_vclone[flow]`` holds a closure validated this run
+        #: and not invalidated since (the invalidation feed clears it)
+        self._vmask = bytearray(flow_count)
+        if vec.HAVE_NUMPY:
+            np = vec.np
+            self._fstat_np = np.frombuffer(self.fstat, dtype=np.uint8)
+            self._vmask_np = np.frombuffer(self._vmask, dtype=np.uint8)
+            #: per-flow steady plan id, set when the flow's clone is cached
+            self.fplan = np.zeros(flow_count, dtype=np.int32)
+            self.plan_ids = np.zeros(n, dtype=np.int32)
+            self.kind_arr = np.ascontiguousarray(batch.kind)
+            self.flow_arr = np.ascontiguousarray(batch.flow_index)
+        else:
+            self.fplan = [0] * flow_count
+            self.plan_ids = [0] * n
+            self.kind_arr = batch.kind
+            self.flow_arr = batch.flow_index
+        self._vclone: List[object] = [None] * flow_count
+        #: validated-FID index: which flow slots must be dropped when the
+        #: runtime reports the FID's compiled lane mutated (a list — FID
+        #: collisions can map one FID to several five-tuple slots)
+        self._flows_of_fid: Dict[int, list] = {}
+        #: validated steady runs awaiting their per-flow flush
+        self._deferred: List[Tuple[int, int]] = []
+        #: flow slots pinned to the slow path by a FID collision; their
+        #: data packets are deferral-safe (no table or LRU touches)
+        self._collided: set = set()
+        #: the runtime's invalidation feed while this run is active
+        self._inval: Optional[list] = None
+        #: lazily built fid-per-flow column (bulk admission only)
+        self._fids = None
+        #: the one bulk template per run; built from the first qualifying
+        #: scalar first packet, then reused for every admitted flow
+        self.template: Optional[BulkTemplate] = None
+        self._admit_plan_cache: Optional[tuple] = None
+        proto = batch.flow_proto
+        self._proto_of = proto.item if hasattr(proto, "item") else proto.__getitem__
+        runtime = self.runtime
+        self._clear_nf_flow = runtime.event_table.clear_nf_flow
+        self._events_by_fid = runtime.event_table._by_fid
+        self._local_rule_dicts = [mat._rules for mat in runtime.local_mats.values()]
+        #: the classifier's eviction callback is exactly SpeedyBox's own
+        #: teardown (no subclass override, no external wrapper), so bulk
+        #: admission may inline it — five dict pops instead of five
+        #: method frames per eviction
+        on_evict = runtime.classifier.on_evict
+        self._plain_evict = (
+            getattr(on_evict, "__self__", None) is runtime
+            and getattr(on_evict, "__func__", None)
+            is SpeedyBox._on_classifier_evicted
+        )
+        #: the lane only engages on uninstrumented runs, so the metric
+        #: instruments are usually the shared no-op — admission skips the
+        #: no-op calls outright (behavior-identical: a null set/inc does
+        #: nothing by definition)
+        self._null_metrics = runtime.classifier._m_flows is NULL_INSTRUMENT
+        #: flow five-tuple columns as plain Python lists, built on first
+        #: bulk admission: list indexing beats per-field ndarray .item()
+        #: calls when admissions number in the hundreds of thousands
+        self._ft_lists = None
+        self.bulk_ok = (
+            runtime.enable_consolidation
+            and batch._payloads is None
+            and all(nf.setup_flow_oblivious for nf in runtime.nfs)
+        )
+
+    # -- driving the batch ---------------------------------------------------
+
+    def run(self) -> Tuple[List[list], object, int]:
+        """Process the whole batch; returns (plan table, plan ids, dropped)."""
+        n = len(self.batch)
+        if vec.HAVE_NUMPY:
+            runtime = self.runtime
+            previous_feed = runtime._lane_invalidations
+            runtime._lane_invalidations = self._inval = []
+            # Defer cyclic GC for the duration of the run: a million
+            # admissions allocate tens of millions of long-lived objects
+            # (entries, rules, clones), and every full collection walks
+            # the entire heap — ~30% of a 10M-packet run.  The lane
+            # allocates no reference cycles of its own; whatever cyclic
+            # garbage the run produces is collected at the caller's next
+            # collection once the prior GC state is restored.
+            import gc
+
+            gc_was_enabled = gc.isenabled()
+            if gc_was_enabled:
+                gc.disable()
+            try:
+                self._run_numpy(n)
+            finally:
+                runtime._lane_invalidations = previous_feed
+                if gc_was_enabled:
+                    gc.enable()
+        else:
+            # The fallback reaches bulk admission too (template capture
+            # is engine-agnostic), so it needs the same invalidation
+            # feed the inlined eviction teardown appends to; nothing
+            # caches closures here, so the feed is never drained.
+            runtime = self.runtime
+            previous_feed = runtime._lane_invalidations
+            runtime._lane_invalidations = self._inval = []
+            try:
+                for index in range(n):
+                    self._fallback_packet(index)
+            finally:
+                runtime._lane_invalidations = previous_feed
+        template = self.template
+        if template is not None and self.admitted:
+            for nf in self.runtime.nfs[: template.ran]:
+                nf.admit_flows(self.admitted)
+        return self.table, self.plan_ids, self.dropped
+
+    def _run_numpy(self, n: int) -> None:
+        np = vec.np
+        kind_arr = self.kind_arr
+        flow_arr = self.flow_arr
+        fstat = self.fstat
+        fstat_np = self._fstat_np
+        collided = self._collided
+        i = 0
+        while i < n:
+            j = min(i + _CHUNK, n)
+            pos = i
+            while pos < j:
+                flows_seg = flow_arr[pos:j]
+                kind_seg = kind_arr[pos:j]
+                steady = (kind_seg == KIND_DATA) & (fstat_np[flows_seg] == 1)
+                # The mask is a snapshot: scalar packets below may flip
+                # fstat mid-segment.  Torn-down flows (1 -> 0) only hand
+                # a run a flow that fails append validation and replays
+                # scalar — correct either way.  Freshly admitted flows
+                # (0 -> 1) would mis-route the rest of the segment to
+                # the per-packet oracle, so on the first such stale
+                # position the mask is recomputed for the remainder
+                # (each recompute follows at least one served packet,
+                # so the walk always advances).
+                scalar_at = np.flatnonzero(~steady)
+                scalar_positions = scalar_at.tolist()
+                flows_sc = flows_seg[scalar_at].tolist()
+                kinds_sc = kind_seg[scalar_at].tolist()
+                previous = 0
+                stale_at = -1
+                for order, position in enumerate(scalar_positions):
+                    flow = flows_sc[order]
+                    kind = kinds_sc[order]
+                    if kind == KIND_DATA and fstat[flow] == 1:
+                        stale_at = pos + position
+                        break
+                    index = pos + position
+                    if position > previous:
+                        self._append_run(pos + previous, index)
+                    if kind != KIND_DATA or flow not in collided:
+                        self._flush()
+                    self._scalar_packet(index, flow, kind)
+                    previous = position + 1
+                if stale_at >= 0:
+                    if stale_at > pos + previous:
+                        self._append_run(pos + previous, stale_at)
+                    pos = stale_at
+                    continue
+                if previous < j - pos:
+                    self._append_run(pos + previous, j)
+                pos = j
+            i = j
+        self._flush()
+
+    def _fallback_packet(self, index: int) -> None:
+        """Pure-Python walk: runs of length one, no deferral."""
+        flow = self.flow_arr[index]
+        if self.kind_arr[index] == KIND_DATA and self.fstat[flow] == 1:
+            if self._serve_one(index, flow):
+                return
+        self._scalar_packet(index, flow, self.kind_arr[index])
+
+    def _serve_one(self, index: int, flow: int) -> bool:
+        """Serve one believed-steady packet via its closure's bookkeeping."""
+        clone = self.runtime._compiled.get(self.batch.five_tuple_of(flow))
+        if clone is None or not self._clone_valid(clone):
+            return False
+        runtime = self.runtime
+        runtime.classifier.packets_classified += 1
+        runtime.fast_packets += 1
+        clone.entry.packets += 1
+        clone.rule.hits += 1
+        clone.move_to_end(clone.fid)
+        if clone.is_drop:
+            self.dropped += 1
+        self.fplan[flow] = self._steady_pid(clone.steady_report)
+        self.plan_ids[index] = self.fplan[flow]
+        self.span_packets += 1
+        return True
+
+    # -- steady runs: append-time validation, deferred flush -----------------
+
+    def _clone_valid(self, clone) -> bool:
+        """The per-packet validity gate of ``CompiledFlow.run``, hoisted.
+
+        The FIN/RST and pre-dropped-descriptor checks are unnecessary
+        here: run membership already guarantees ``kind == KIND_DATA``
+        (materialized with plain ACK flags) on a fresh descriptor.
+        """
+        if clone.steady_report is None:
+            return False
+        fid = clone.fid
+        if clone.rules.get(fid) is not clone.rule:
+            return False
+        if clone.flows.get(fid) is not clone.entry:
+            return False
+        events = clone.events_by_fid.get(fid)
+        if events is not None:
+            for event in events:
+                if event.active:
+                    return False
+        return True
+
+    def _drain(self, inval: list) -> None:
+        """Evict cached closures for every FID the runtime invalidated."""
+        flows_of_fid = self._flows_of_fid
+        vclone = self._vclone
+        vmask = self._vmask
+        for fid in inval:
+            flows = flows_of_fid.pop(fid, None)
+            if flows is None:
+                continue
+            if type(flows) is int:
+                vclone[flows] = None
+                vmask[flows] = 0
+            else:
+                for flow in flows:
+                    vclone[flow] = None
+                    vmask[flow] = 0
+        inval.clear()
+
+    def _drain_fid(self, fid: int) -> None:
+        flows = self._flows_of_fid.pop(fid, None)
+        if flows is None:
+            return
+        if type(flows) is int:
+            self._vclone[flows] = None
+            self._vmask[flows] = 0
+        else:
+            vclone = self._vclone
+            vmask = self._vmask
+            for flow in flows:
+                vclone[flow] = None
+                vmask[flow] = 0
+
+    def _index_fid(self, fid: int, flow: int) -> None:
+        """Record flow slot under its FID (int for the overwhelmingly
+        common single-slot case; a list only on an actual collision —
+        a million admissions otherwise allocate a million lists)."""
+        flows_of_fid = self._flows_of_fid
+        prev = flows_of_fid.get(fid)
+        if prev is None:
+            flows_of_fid[fid] = flow
+        elif type(prev) is int:
+            flows_of_fid[fid] = [prev, flow]
+        else:
+            prev.append(flow)
+
+    def _cache_clone(self, flow: int, clone) -> None:
+        self._vclone[flow] = clone
+        self._vmask[flow] = 1
+        self._index_fid(clone.fid, flow)
+        self.fplan[flow] = self._steady_pid(clone.steady_report)
+
+    def _append_run(self, lo: int, hi: int) -> None:
+        """Validate packets [lo, hi) — all steady-hinted data — and defer.
+
+        Because every state-mutating scalar packet flushes before it
+        runs, a run validated here cannot go stale before its flush: the
+        flush applies per-flow effects to exactly the closures that were
+        live when the packets logically executed.
+        """
+        inval = self._inval
+        if inval:
+            self._drain(inval)
+        flows_run = self.flow_arr[lo:hi]
+        vmask = self._vmask
+        if self._vmask_np[flows_run].all():
+            self._accept_run(lo, hi, flows_run)
+            return
+        np = vec.np
+        compiled = self.runtime._compiled
+        five_tuple_of = self.batch.five_tuple_of
+        bad = False
+        for flow in np.unique(flows_run).tolist():
+            if vmask[flow]:
+                continue
+            clone = compiled.get(five_tuple_of(flow))
+            if clone is None or not self._clone_valid(clone):
+                bad = True
+                self.fstat[flow] = 0
+                continue
+            self._cache_clone(flow, clone)
+        if not bad:
+            self._accept_run(lo, hi, flows_run)
+            return
+        # Mixed run: some flows validate, some do not.  Flush what
+        # precedes it, then replay the run per packet in order (cached
+        # flows stay on the closure bookkeeping, the rest go scalar).
+        self._flush()
+        inval = self._inval
+        for offset, flow in enumerate(flows_run.tolist()):
+            index = lo + offset
+            if inval:
+                self._drain(inval)
+            if vmask[flow]:
+                self._serve_cached(index, flow)
+            else:
+                self._scalar_packet(index, flow, KIND_DATA)
+
+    def _accept_run(self, lo: int, hi: int, flows_run) -> None:
+        count = hi - lo
+        runtime = self.runtime
+        runtime.classifier.packets_classified += count
+        runtime.fast_packets += count
+        self.span_packets += count
+        self.plan_ids[lo:hi] = self.fplan[flows_run]
+        self._deferred.append((lo, hi))
+
+    def _serve_cached(self, index: int, flow: int) -> None:
+        """One packet via its already-validated cached closure."""
+        clone = self._vclone[flow]
+        runtime = self.runtime
+        runtime.classifier.packets_classified += 1
+        runtime.fast_packets += 1
+        clone.entry.packets += 1
+        clone.rule.hits += 1
+        clone.move_to_end(clone.fid)
+        if clone.is_drop:
+            self.dropped += 1
+        self.plan_ids[index] = self.fplan[flow]
+        self.span_packets += 1
+
+    def _flush(self) -> None:
+        """Apply the deferred region's per-flow effects in one pass.
+
+        Counts, rule hits and drop totals are commutative; the LRU
+        touches — one ``move_to_end`` per flow in last-occurrence order
+        over the *whole region* — leave exactly the recency order the
+        per-packet sequence would have (scalar packets deferred across
+        never touch the LRU).
+        """
+        deferred = self._deferred
+        if not deferred:
+            return
+        np = vec.np
+        flow_arr = self.flow_arr
+        if len(deferred) == 1:
+            lo, hi = deferred[0]
+            flows_cat = flow_arr[lo:hi]
+        else:
+            flows_cat = np.concatenate([flow_arr[lo:hi] for lo, hi in deferred])
+        deferred.clear()
+        # unique over the *reversed* region makes each first_index the
+        # distance from the end: descending first_index == ascending
+        # last occurrence.
+        uniq, first_rev, counts = np.unique(
+            flows_cat[::-1], return_index=True, return_counts=True
+        )
+        vclone = self._vclone
+        uniq_list = uniq.tolist()
+        dropped = 0
+        for flow, count in zip(uniq_list, counts.tolist()):
+            clone = vclone[flow]
+            clone.entry.packets += count
+            clone.rule.hits += count
+            if clone.is_drop:
+                dropped += count
+        self.dropped += dropped
+        move = vclone[uniq_list[0]].move_to_end
+        for position in np.argsort(first_rev)[::-1].tolist():
+            move(vclone[uniq_list[position]].fid)
+
+    # -- scalar packets ------------------------------------------------------
+
+    def _scalar_packet(self, index: int, flow: int, kind: int) -> None:
+        """One packet through the oracle (or bulk admission when eligible)."""
+        batch = self.batch
+        runtime = self.runtime
+        bulk_shape = (
+            self.bulk_ok
+            and kind == KIND_DATA
+            and self._proto_of(flow) == PROTO_UDP
+        )
+        if bulk_shape and self.template is not None:
+            fid = self._fid_of_flow(flow)
+            entry = runtime.classifier._flows.get(fid)
+            if entry is None:
+                self._admit(flow, fid, index)
+                return
+            if entry.five_tuple != batch.five_tuple_of(flow):
+                # FID collision: the classifier pins the flow to the
+                # slow path before touching any table, which is what
+                # makes its data packets deferral-safe.
+                self._collided.add(flow)
+
+        packet = batch.materialize(index)
+        report = runtime.process(packet)
+        if report.dropped:
+            self.dropped += 1
+        if report.steady:
+            pid = self._steady_pid(report)
+        else:
+            pid = self._pid_of(self.platform._stage_plan(report))
+        self.plan_ids[index] = pid
+
+        five_tuple = batch.five_tuple_of(flow)
+        clone = runtime._compiled.get(five_tuple)
+        if clone is not None and clone.steady_report is not None:
+            self.fstat[flow] = 1
+        else:
+            self.fstat[flow] = 0
+        if (
+            self.template is None
+            and bulk_shape
+            and clone is not None
+            and report.path is PathTaken.ORIGINAL
+            and not report.closing
+        ):
+            self._try_capture_template(flow, five_tuple, report, clone, pid)
+        # The invalidation feed cannot see an NF *activating* an event
+        # on a cached FID mid-traversal (registration bypasses the
+        # compiled table).  Probe for it: active events on the FID kill
+        # its cached closures, after flushing what logically preceded.
+        if self._flows_of_fid and (
+            report.events_fired
+            or runtime.event_table.active_event_count(report.fid)
+        ):
+            self._flush()
+            self._drain_fid(report.fid)
+
+    def _fid_of_flow(self, flow: int) -> int:
+        fids = self._fids
+        if fids is None:
+            batch = self.batch
+            if vec.HAVE_NUMPY:
+                fids = fid_column(
+                    batch.flow_src_ip,
+                    batch.flow_dst_ip,
+                    batch.flow_src_port,
+                    batch.flow_dst_port,
+                    batch.flow_proto,
+                )
+                self._fids = fids = fids.tolist()
+            else:
+                # No column: fid_of is lru-cached on the interned tuple.
+                return fid_of(batch.five_tuple_of(flow))
+        # Plain int: the fid flows into table keys, audit payloads and
+        # FlowEntry fields that must stay numpy-free.
+        return fids[flow]
+
+    # -- bulk admission ------------------------------------------------------
+
+    def _try_capture_template(self, flow, five_tuple, report, clone, pid) -> None:
+        """Capture the one-per-run bulk template from a scalar first packet.
+
+        Every guard re-checks what bulk admission will assume: the flow
+        really is brand new (one packet, owns its FID), its rule is the
+        live compiled one, the recording was header-actions-only.  The
+        template stays valid even after the template flow itself is
+        evicted — the GlobalRule object and its shared artifacts are
+        immutable once built (``install_prebuilt``'s contract).
+        """
+        runtime = self.runtime
+        if clone.steady_report is None:
+            return
+        fid = clone.fid
+        entry = runtime.classifier._flows.get(fid)
+        if entry is not clone.entry or entry.packets != 1:
+            return
+        if entry.five_tuple != five_tuple:
+            return
+        if runtime.global_mat.peek(fid) is not clone.rule:
+            return
+        if report.events_fired:
+            return
+        ran = len(report.nf_meters)
+        mat_plumbing = []
+        for position, nf in enumerate(runtime.nfs):
+            local_mat = runtime.local_mats[nf.name]
+            if position < ran:
+                local_rule = local_mat.rule_for(fid)
+                if local_rule is None or local_rule.sf_batch or local_rule.event_count:
+                    return
+                actions = tuple(local_rule.header_actions)
+                mat_plumbing.append(
+                    (local_mat, local_mat._rules, nf.name, actions, len(actions))
+                )
+            else:
+                mat_plumbing.append((local_mat, local_mat._rules, nf.name, None, 0))
+        steady_pid = self._steady_pid(clone.steady_report)
+        steady_plan = self.table[steady_pid]
+        self.template = BulkTemplate(
+            rule=clone.rule,
+            compiled=clone,
+            ran=ran,
+            mat_plumbing=mat_plumbing,
+            dropped=report.dropped,
+            original_pid=pid,
+            steady_pid=steady_pid,
+            steady_plan=steady_plan,
+            waves=clone.rule.schedule.wave_count,
+            drop_action=clone.rule.consolidated.drop,
+        )
+        # One shared, immutable plan-cache tuple for every admitted
+        # clone's steady report (identical timing by meter identity).
+        self._admit_plan_cache = (self.platform, steady_plan, steady_pid, self)
+
+    def _admit(self, flow: int, fid: int, index: int) -> None:
+        """Install one new flow from the template, no packet materialized.
+
+        Operation-for-operation the memoized slow path: same classifier
+        insert (after the same capacity eviction), same Local MAT record
+        state, same Global MAT install, same compiled-closure clone, same
+        audit events in the same order.  Meter charges are value-typical
+        by the oblivious contract and live only in the (shared) template
+        report, which is exactly what feeds the stage plan.
+        """
+        runtime = self.runtime
+        template = self.template
+        classifier = runtime.classifier
+        classifier.packets_classified += 1
+        flows = classifier._flows
+        null_metrics = self._null_metrics
+        gm = runtime.global_mat
+        gm_rules = gm._rules
+        if classifier.capacity is not None and len(flows) >= classifier.capacity:
+            if self._plain_evict:
+                # Inlined ``_evict_oldest`` + ``_on_classifier_evicted``:
+                # the teardown is five dict pops, and the method frames
+                # dominated eviction-heavy admission.  Same pops, same
+                # invalidation-feed append, same audit events in order.
+                vfid, victim = flows.popitem(last=False)
+                classifier.evictions += 1
+                if not null_metrics:
+                    classifier._m_flows.set(len(flows))
+                audit = runtime.audit
+                key = runtime._compiled_fids.pop(vfid, None)
+                if key is not None:
+                    runtime._compiled.pop(key, None)
+                    self._inval.append(vfid)
+                    audit.emit(
+                        "fastpath_invalidate", fid=vfid, reason="classifier_evict"
+                    )
+                if gm_rules.pop(vfid, None) is not None and not null_metrics:
+                    gm._m_occupancy.set(len(gm_rules))
+                for rules in self._local_rule_dicts:
+                    rules.pop(vfid, None)
+                self._events_by_fid.pop(vfid, None)
+                audit.emit("classifier_evict", fid=vfid, packets=victim.packets)
+            else:
+                classifier._evict_oldest()
+        ft_lists = self._ft_lists
+        if ft_lists is None:
+            batch = self.batch
+            ft_lists = self._ft_lists = tuple(
+                col.tolist() if hasattr(col, "tolist") else list(col)
+                for col in (
+                    batch.flow_src_ip,
+                    batch.flow_dst_ip,
+                    batch.flow_src_port,
+                    batch.flow_dst_port,
+                    batch.flow_proto,
+                )
+            )
+        five_tuple = FiveTuple(
+            ft_lists[0][flow],
+            ft_lists[1][flow],
+            ft_lists[2][flow],
+            ft_lists[3][flow],
+            ft_lists[4][flow],
+        )
+        entry = FlowEntry.__new__(FlowEntry)
+        entry.fid = fid
+        entry.five_tuple = five_tuple
+        entry.established = True
+        entry.closed = False
+        entry.packets = 1
+        flows[fid] = entry
+        runtime.slow_packets += 1
+        # Inlined ``begin_recording`` + recorded-action replay: same
+        # event-table clear, same fresh LocalRule, same record counters —
+        # minus three method frames per admission.  The event-table clear
+        # is skipped entirely while no flow anywhere has events (the
+        # common case for setup-oblivious chains): clearing an empty
+        # table is a no-op by definition.  Rules are built field by field
+        # (``__new__``) — at hundreds of thousands of admissions the
+        # constructor frames alone are measurable.
+        clear_nf_flow = self._clear_nf_flow if self._events_by_fid else None
+        for local_mat, rules, nf_name, actions, n_actions in template.mat_plumbing:
+            if clear_nf_flow is not None:
+                clear_nf_flow(fid, nf_name)
+            local_rule = LocalRule.__new__(LocalRule)
+            local_rule.fid = fid
+            local_rule.header_actions = [] if actions is None else list(actions)
+            sf_batch = StateFunctionBatch.__new__(StateFunctionBatch)
+            sf_batch.nf_name = nf_name
+            sf_batch._functions = []
+            local_rule.sf_batch = sf_batch
+            local_rule.event_count = 0
+            local_rule.hits = 0
+            if actions is not None:
+                local_mat.records_ha += n_actions
+            rules[fid] = local_rule
+        if fid in gm_rules:
+            # A live rule under this FID (never on the bulk path in
+            # practice — admission implies the classifier forgot the
+            # flow, and that teardown removed the rule): take the full
+            # reinstall with its version bump and rebuild audit.
+            rule = gm.install_prebuilt(fid, template.rule)
+        else:
+            # Inlined ``install_prebuilt``, fresh-insert arm: identical
+            # rule, counters and audit; ``move_to_end`` elided because a
+            # fresh key is already youngest.
+            t_rule = template.rule
+            rule = GlobalRule.__new__(GlobalRule)
+            rule.fid = fid
+            rule.consolidated = t_rule.consolidated
+            rule.schedule = t_rule.schedule
+            rule.nf_names = t_rule.nf_names
+            rule.raw_actions = t_rule.raw_actions
+            rule.pre_drop = t_rule.pre_drop
+            rule.dropper = t_rule.dropper
+            rule.version = 1
+            rule.hits = 0
+            gm.consolidations += 1
+            runtime.audit.emit(
+                "global_mat_insert",
+                fid=fid,
+                version=1,
+                waves=template.waves,
+                drop=template.drop_action,
+            )
+            gm_rules[fid] = rule
+            if gm.capacity is not None and len(gm_rules) > gm.capacity:
+                gm._enforce_capacity(keep_fid=fid)
+            if not null_metrics:
+                gm._m_consolidations.inc()
+                gm._m_occupancy.set(len(gm_rules))
+        compiled = template.compiled.clone_for(entry, rule)
+        runtime._compiled[five_tuple] = compiled
+        runtime._compiled_fids[fid] = five_tuple
+        runtime.audit.emit(
+            "fastpath_compile",
+            fid=fid,
+            version=rule.version,
+            waves=template.waves,
+            drop=template.drop_action,
+        )
+        # Pre-seed the clone's steady plan: its report shares the
+        # template's fixed meter by identity, so the plan (and timing)
+        # are the template's to the bit — no per-flow stage_plan walk.
+        compiled.steady_report.plan_cache = self._admit_plan_cache
+        self.fstat[flow] = 1
+        self.fplan[flow] = template.steady_pid
+        self._vclone[flow] = compiled
+        self._vmask[flow] = 1
+        flows_of_fid = self._flows_of_fid
+        prev = flows_of_fid.get(fid)
+        if prev is None:
+            flows_of_fid[fid] = flow
+        elif type(prev) is int:
+            flows_of_fid[fid] = [prev, flow]
+        else:
+            prev.append(flow)
+        if template.dropped:
+            self.dropped += 1
+        self.plan_ids[index] = template.original_pid
+        self.admitted += 1
+
+    # -- plan table ----------------------------------------------------------
+
+    def _pid_of(self, plan) -> int:
+        key = tuple(plan)
+        pid = self._pid_by_value.get(key)
+        if pid is None:
+            pid = len(self.table)
+            self.table.append(plan)
+            self._pid_by_value[key] = pid
+        return pid
+
+    def _steady_pid(self, report) -> int:
+        """Plan id of a steady singleton report, memoized on the report.
+
+        The ``lane`` slot guards cross-run staleness: a pid minted by a
+        previous lane run indexes *that* run's table, so only the plan
+        object survives and the pid is re-derived for this table.
+        """
+        cached = report.plan_cache
+        if cached is not None and cached[0] is self.platform:
+            if cached[3] is self:
+                return cached[2]
+            plan = cached[1]
+        else:
+            plan = self.platform._stage_plan(report)
+        pid = self._pid_of(plan)
+        report.plan_cache = (self.platform, plan, pid, self)
+        return pid

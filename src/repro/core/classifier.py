@@ -16,14 +16,23 @@ Responsibilities:
 FID collisions (two live flows hashing to the same 20-bit value) are
 detected by remembering the owning five-tuple; collided flows are pinned
 to the original path so correctness never depends on hash uniqueness.
+
+The flow table can be bounded (``capacity=``): when a new flow would
+exceed it, the oldest-inserted entry is evicted and ``on_evict`` fires so
+the runtime tears down everything keyed by that flow (Global MAT rule,
+Local MAT rules, events, compiled closure).  Insertion order approximates
+LRU without paying a per-packet reorder; long-lived hot flows that out-age
+the table simply re-record on their next packet, which is correct because
+eviction also uninstalls their fast path.
 """
 
 from __future__ import annotations
 
 import struct
+from collections import OrderedDict
 from dataclasses import dataclass
 from functools import lru_cache
-from typing import Dict, Optional
+from typing import Callable, Dict, Optional
 
 from repro.net.flow import FiveTuple, PROTO_TCP
 from repro.net.headers import TCP_FIN, TCP_RST, TCP_SYN, TCPHeader
@@ -63,6 +72,54 @@ def fid_of(five_tuple: FiveTuple) -> int:
     # XOR-fold 64 -> 20 bits.
     folded = value ^ (value >> 20) ^ (value >> 40) ^ (value >> 60)
     return folded & (FID_SPACE - 1)
+
+
+def fid_column(src_ip, dst_ip, src_port, dst_port, protocol):
+    """Vectorized :func:`fid_of` over parallel five-tuple columns.
+
+    Walks the same 13 packed bytes in the same order as the scalar hash
+    (FNV-1a is byte-sequential), using uint64 wrap-around multiplies when
+    numpy is present, so the returned column is *bit-identical* to
+    calling ``fid_of`` per flow — the batch lane relies on that to agree
+    with the classifier about collisions.  The fallback loops over
+    :func:`fid_of` directly.
+    """
+    from repro import vector as vec
+
+    if not vec.HAVE_NUMPY:
+        return vec.int_column(
+            fid_of(
+                FiveTuple(
+                    int(src_ip[i]),
+                    int(dst_ip[i]),
+                    int(src_port[i]),
+                    int(dst_port[i]),
+                    int(protocol[i]),
+                )
+            )
+            for i in range(len(src_ip))
+        )
+    np = vec.np
+    u64 = np.uint64
+    prime = u64(_FNV_PRIME)
+    value = np.full(len(src_ip), _FNV_OFFSET, dtype=np.uint64)
+    # The "!IIHHB" pack order: src_ip and dst_ip big-endian 4 bytes each,
+    # then the two big-endian 2-byte ports, then the protocol byte.
+    columns = (
+        (src_ip, (24, 16, 8, 0)),
+        (dst_ip, (24, 16, 8, 0)),
+        (src_port, (8, 0)),
+        (dst_port, (8, 0)),
+        (protocol, (0,)),
+    )
+    with np.errstate(over="ignore"):
+        for column, shifts in columns:
+            wide = np.asarray(column, dtype=np.int64)
+            for shift in shifts:
+                byte = ((wide >> shift) & 0xFF).astype(np.uint64)
+                value = (value ^ byte) * prime
+        folded = value ^ (value >> u64(20)) ^ (value >> u64(40)) ^ (value >> u64(60))
+    return (folded & u64(FID_SPACE - 1)).astype(np.int64)
 
 
 @dataclass(slots=True)
@@ -105,8 +162,23 @@ class Classification:
 class PacketClassifier:
     """FID assignment, connection tracking and flow cleanup."""
 
-    def __init__(self, metrics: MetricsRegistry = NULL_REGISTRY):
-        self._flows: Dict[int, FlowEntry] = {}
+    def __init__(
+        self,
+        metrics: MetricsRegistry = NULL_REGISTRY,
+        capacity: Optional[int] = None,
+        on_evict: Optional[Callable[[FlowEntry], None]] = None,
+    ):
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"classifier capacity must be >= 1, got {capacity}")
+        # An OrderedDict, not a plain dict: eviction pops from the front,
+        # and a plain dict's iterator re-walks every tombstoned slot to
+        # find the first live entry — after ~100k front-pops each
+        # eviction scans an ever-growing dead prefix (quadratic churn).
+        # The linked-list order makes popitem(last=False) O(1) forever.
+        self._flows: "OrderedDict[int, FlowEntry]" = OrderedDict()
+        self.capacity = capacity
+        self.on_evict = on_evict
+        self.evictions = 0
         self.collisions = 0
         self.packets_classified = 0
         self._m_classified = metrics.counter(
@@ -145,6 +217,8 @@ class PacketClassifier:
             return Classification(fid=fid, entry=entry, collided=True)
 
         if entry is None:
+            if self.capacity is not None and len(self._flows) >= self.capacity:
+                self._evict_oldest()
             entry = FlowEntry(fid=fid, five_tuple=five_tuple)
             self._flows[fid] = entry
             self._m_flows.set(len(self._flows))
@@ -178,6 +252,14 @@ class PacketClassifier:
         packet.metadata.pop("fid", None)
         packet.metadata.pop("fid_collision", None)
         meter.charge(Operation.METADATA_DETACH)
+
+    def _evict_oldest(self) -> None:
+        """Drop the oldest-inserted entry to make room for a new flow."""
+        __, victim = self._flows.popitem(last=False)
+        self.evictions += 1
+        self._m_flows.set(len(self._flows))
+        if self.on_evict is not None:
+            self.on_evict(victim)
 
     def remove_flow(self, fid: int) -> bool:
         """Forget a closed flow (frees the FID for reuse)."""

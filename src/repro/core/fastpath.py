@@ -226,6 +226,55 @@ class CompiledFlow:
         #: lazily on the first drop otherwise (see ``_PENDING``)
         self._drops_inc = None if speedybox._m_drops is NULL_INSTRUMENT else _PENDING
 
+    def clone_for(self, entry: FlowEntry, rule: GlobalRule) -> "CompiledFlow":
+        """A compiled lane for another flow sharing this rule's artifacts.
+
+        Only valid for steady (no-wave) templates whose rule shares this
+        flow's ``consolidated``/``schedule`` *by identity* (the setup
+        memo's ``install_prebuilt`` clones) — identity is what guarantees
+        the fixed meter, apply closure and drop disposition carry over
+        unchanged.  Everything per-flow is fresh.
+        """
+        clone = object.__new__(CompiledFlow)
+        clone.speedybox = self.speedybox
+        clone.classifier = self.classifier
+        clone.entry = entry
+        clone.five_tuple = entry.five_tuple
+        clone.fid = entry.fid
+        clone.is_tcp = entry.five_tuple.protocol == PROTO_TCP
+        clone.rule = rule
+        clone.rules = self.rules
+        clone.flows = self.flows
+        clone.move_to_end = self.move_to_end
+        clone.events_by_fid = self.events_by_fid
+        clone.is_drop = self.is_drop
+        clone.drop_cause = self.drop_cause
+        clone.apply_fn = self.apply_fn
+        clone.waves = self.waves  # () — clones exist only for steady rules
+        clone.fixed_meter = self.fixed_meter
+        # Direct construction: clone_for sits on the bulk-admission hot
+        # path, and the generated dataclass __init__ spends more time
+        # binding arguments than storing them.
+        report = ProcessReport.__new__(ProcessReport)
+        report.path = _FAST
+        report.fid = entry.fid
+        report.dropped = self.is_drop
+        report.closing = False
+        report.events_fired = 0
+        report.fixed_meter = self.fixed_meter
+        report.nf_meters = []
+        report.sf_waves = []
+        report.timing_cache = None
+        report.steady = True
+        report.plan_cache = None
+        clone.steady_report = report
+        clone._m_classified_inc = self._m_classified_inc
+        clone._m_hits_inc = self._m_hits_inc
+        clone._m_fast_inc = self._m_fast_inc
+        clone._m_path_inc = self._m_path_inc
+        clone._drops_inc = self._drops_inc
+        return clone
+
     def run(self, packet) -> Optional[ProcessReport]:
         """One steady-state packet; ``None`` means take the interpreted path.
 
@@ -352,4 +401,21 @@ def compile_flow(speedybox, entry: Optional[FlowEntry], rule: GlobalRule):
         return None
     if entry.fid != rule.fid:
         return None
+    if speedybox.memoize_setup:
+        # Setup-memo runs: flows installed via ``install_prebuilt`` share
+        # their (consolidated, schedule) pair by identity with a template
+        # flow, so the closure can be cloned instead of rebuilt.  The
+        # id() key stays valid because the template CompiledFlow in the
+        # dict keeps both objects alive.
+        templates = speedybox._compiled_templates
+        key = (id(rule.consolidated), id(rule.schedule))
+        template = templates.get(key)
+        if template is not None and not template.waves:
+            return template.clone_for(entry, rule)
+        flow = CompiledFlow(speedybox, entry, rule)
+        if not flow.waves:
+            if len(templates) > 4096:
+                templates.clear()
+            templates[key] = flow
+        return flow
     return CompiledFlow(speedybox, entry, rule)

@@ -34,7 +34,13 @@ from repro.core.classifier import Classification, FlowEntry, PacketClassifier
 from repro.core.consolidation import ConsolidatedAction
 from repro.core.event_table import Event, EventTable
 from repro.core.global_mat import GlobalMAT, GlobalRule
-from repro.core.local_mat import InstrumentationAPI, LocalMAT, LocalRule, NullInstrumentationAPI
+from repro.core.local_mat import (
+    BufferedInstrumentationAPI,
+    InstrumentationAPI,
+    LocalMAT,
+    LocalRule,
+    NullInstrumentationAPI,
+)
 from repro.net.flow import FiveTuple
 from repro.net.packet import Packet
 from repro.nf.base import NetworkFunction
@@ -76,6 +82,15 @@ class ProcessReport:
     #: it varies per packet).  Consumers may key caches on the report's
     #: identity when this is set — the object outlives the run.
     steady: bool = field(default=False, repr=False, compare=False)
+    #: ``(platform, stage_plan, plan_id, lane)`` memo for steady singleton
+    #: reports.  The lean functional pass and the batch lane both derive
+    #: exactly one stage plan per steady report; keeping the memo *on the
+    #: report* (instead of an ``id()``-keyed side table) means a report
+    #: garbage-collected after a flow eviction can never leave a stale
+    #: entry behind for a recycled id.  ``plan_id``/``lane`` are the batch
+    #: lane's plan-table index and its owning run (``None`` elsewhere).
+    #: Owned by ``repro.platform``.
+    plan_cache: Optional[tuple] = field(default=None, repr=False, compare=False)
 
     @property
     def is_fast(self) -> bool:
@@ -198,6 +213,7 @@ class SpeedyBox:
         metrics: MetricsRegistry = NULL_REGISTRY,
         compile_fast_path: bool = True,
         audit: AuditLog = NULL_AUDIT,
+        max_tracked_flows: Optional[int] = None,
     ):
         if not nfs:
             raise ValueError("SpeedyBox needs at least one NF")
@@ -206,6 +222,11 @@ class SpeedyBox:
         self.nf_by_name: Dict[str, NetworkFunction] = {nf.name: nf for nf in nfs}
         self.enable_consolidation = enable_consolidation
         self.max_flows = max_flows
+        #: bound on *classifier* connection-tracking entries; evicting a
+        #: tracked flow tears down everything else keyed by it, so with
+        #: this set every per-flow table is bounded and long runs over
+        #: millions of flows keep a flat footprint.
+        self.max_tracked_flows = max_tracked_flows
         self.metrics = metrics
         self.audit = audit
         #: compiled steady-state fast lanes (repro.core.fastpath), keyed
@@ -218,7 +239,17 @@ class SpeedyBox:
         self.compile_fast_path = compile_fast_path
         self._compiled: Dict[FiveTuple, "object"] = {}
         self._compiled_fids: Dict[int, FiveTuple] = {}
-        self.classifier = PacketClassifier(metrics=metrics)
+        #: batch-lane invalidation feed.  While a lane run is active this
+        #: points at a list; every mutation of a flow's compiled lane
+        #: (replace, pop, rule rebuild after an event) appends the FID so
+        #: the lane can evict its cached clone before trusting it again.
+        #: ``None`` whenever no lane run is in flight.
+        self._lane_invalidations: Optional[list] = None
+        self.classifier = PacketClassifier(
+            metrics=metrics,
+            capacity=max_tracked_flows,
+            on_evict=self._on_classifier_evicted,
+        )
         self.event_table = EventTable(metrics=metrics)
         self.global_mat = GlobalMAT(
             enable_parallelism=enable_parallelism,
@@ -233,6 +264,20 @@ class SpeedyBox:
         self.apis: Dict[str, InstrumentationAPI] = {
             nf.name: InstrumentationAPI(self.local_mats[nf.name], self.event_table) for nf in nfs
         }
+        #: setup memo (batch engine): when enabled, a brand-new flow whose
+        #: recording is header-actions-only and value-identical to an
+        #: earlier flow's reuses that flow's consolidated artifacts
+        #: (identical tables, meters and reports — just built cheaper).
+        #: Toggled by the batch lane for the duration of a batch run.
+        self.memoize_setup = False
+        self._setup_memo: Dict[tuple, GlobalRule] = {}
+        #: compiled-closure templates keyed by the *identity* of the
+        #: shared (consolidated, schedule) pair install_prebuilt produced
+        #: — identity equality IS template equality (repro.core.fastpath).
+        self._compiled_templates: Dict[Tuple[int, int], object] = {}
+        self._memo_apis: List[BufferedInstrumentationAPI] = [
+            BufferedInstrumentationAPI(self.local_mats[nf.name], self.event_table) for nf in nfs
+        ]
         self.slow_packets = 0
         self.fast_packets = 0
         path_counter = metrics.counter(
@@ -301,7 +346,17 @@ class SpeedyBox:
                 self._run_fast(packet, rule, report)
             else:
                 report.path = PathTaken.ORIGINAL
-                self._run_original(packet, report, record=True)
+                entry = classification.entry
+                if (
+                    self.memoize_setup
+                    and self.enable_consolidation
+                    and not classification.is_closing
+                    and entry is not None
+                    and entry.packets == 1
+                ):
+                    self._run_original_memoized(packet, report)
+                else:
+                    self._run_original(packet, report, record=True)
             if self.compile_fast_path and not classification.is_closing:
                 self._maybe_compile(classification)
 
@@ -340,8 +395,11 @@ class SpeedyBox:
             return
         flow = _fastpath.compile_flow(self, classification.entry, rule)
         if flow is not None:
-            if key is not None and key != flow.five_tuple:
-                self._compiled.pop(key, None)
+            if key is not None:
+                if key != flow.five_tuple:
+                    self._compiled.pop(key, None)
+                if self._lane_invalidations is not None:
+                    self._lane_invalidations.append(fid)
             self._compiled[flow.five_tuple] = flow
             self._compiled_fids[fid] = flow.five_tuple
             self.audit.emit(
@@ -354,6 +412,8 @@ class SpeedyBox:
         elif key is not None:
             self._compiled.pop(key, None)
             del self._compiled_fids[fid]
+            if self._lane_invalidations is not None:
+                self._lane_invalidations.append(fid)
             self.audit.emit("fastpath_invalidate", fid=fid, reason="uncompilable")
 
     def _invalidate_compiled(self, fid: int, reason: str = "invalidated") -> None:
@@ -361,6 +421,8 @@ class SpeedyBox:
         key = self._compiled_fids.pop(fid, None)
         if key is not None:
             self._compiled.pop(key, None)
+            if self._lane_invalidations is not None:
+                self._lane_invalidations.append(fid)
             self.audit.emit("fastpath_invalidate", fid=fid, reason=reason)
 
     # -- original path with recording ---------------------------------------
@@ -393,6 +455,94 @@ class SpeedyBox:
 
         if record and not report.closing:
             self._consolidate(fid, report.fixed_meter)
+
+    def _run_original_memoized(self, packet: Packet, report: ProcessReport) -> None:
+        """Recorded original traversal with the flow-setup memo.
+
+        Behaviourally identical to ``_run_original(record=True)`` — same
+        NF execution, same table state, same meter charges in the same
+        order — but brand-new flows whose recording turns out to be
+        header-actions-only and value-identical to an earlier flow's skip
+        the consolidation *computation*: the Global MAT rule is installed
+        as a clone sharing the template's consolidated action and schedule
+        by identity (:meth:`GlobalMAT.install_prebuilt`), which in turn
+        lets ``repro.core.fastpath`` clone the compiled closure instead
+        of rebuilding it.  This is what makes per-flow setup affordable
+        at millions of flows.
+        """
+        self.slow_packets += 1
+        self._m_slow.inc()
+        fid = report.fid
+        nfs = self.nfs
+        # counts-dict-equal to n separate charges, same insertion order
+        report.fixed_meter.charge(Operation.MAT_BEGIN_RECORD, len(nfs))
+        for nf in nfs:
+            self.local_mats[nf.name].begin_recording(fid)
+
+        apis = self._memo_apis
+        ran = 0
+        for index, nf in enumerate(nfs):
+            meter = CycleMeter()
+            nf.meter = meter
+            api = apis[index]
+            api.reset()
+            api.meter = meter
+            try:
+                nf.process(packet, api)
+            finally:
+                _detach_meter(nf)
+                api.meter = _NULL_API_METER
+            report.nf_meters.append((nf.name, meter))
+            ran = index + 1
+            if packet.dropped:
+                report.dropped = True
+                self._m_drops.labels(cause=nf.name).inc()
+                break
+
+        # Materialize the buffers into the Local MATs: table state and
+        # records_* counters match the live-API traversal exactly.
+        dynamic = False
+        for index in range(ran):
+            api = apis[index]
+            local_mat = self.local_mats[nfs[index].name]
+            for action in api.actions:
+                local_mat.add_header_action(fid, action)
+            for function in api.functions:
+                local_mat.add_state_function(fid, function)
+            if api.functions or api.events:
+                dynamic = True
+        for index in range(ran):
+            api = apis[index]
+            if api.events:
+                rule = self.local_mats[nfs[index].name].rule_for(fid)
+                for event in api.events:
+                    self.event_table.register(event)
+                    if rule is not None:
+                        rule.event_count += 1
+
+        if report.closing:
+            return
+        if dynamic:
+            # State functions or events: per-flow closures make the
+            # recording unshareable — consolidate normally.
+            self._consolidate(fid, report.fixed_meter)
+            return
+        signature = tuple(tuple(apis[index].actions) for index in range(ran))
+        try:
+            template = self._setup_memo.get(signature)
+        except TypeError:  # an unhashable action: no memo for this flow
+            self._consolidate(fid, report.fixed_meter)
+            return
+        if template is None:
+            rule = self._consolidate(fid, report.fixed_meter)
+            if len(self._setup_memo) > 4096:
+                self._setup_memo.clear()
+            self._setup_memo[signature] = rule
+        else:
+            action_count = sum(len(actions) for actions in signature)
+            report.fixed_meter.charge(Operation.CONSOLIDATE_ACTION, max(action_count, 1))
+            report.fixed_meter.charge(Operation.GLOBAL_RULE_INSTALL)
+            self.global_mat.install_prebuilt(fid, template)
 
     def _consolidate(self, fid: int, meter: CycleMeter) -> GlobalRule:
         ordered = [(nf.name, self.local_mats[nf.name].rule_for(fid)) for nf in self.nfs]
@@ -508,6 +658,11 @@ class SpeedyBox:
                 local_mat.replace_state_functions(fid, event.update_state_functions)
         if fired:
             self._consolidate(fid, meter)
+            # The rebuilt rule orphans any compiled clone for the FID
+            # without popping it (the clone's identity gate catches it);
+            # a lane caching validated clones must hear about it too.
+            if self._lane_invalidations is not None:
+                self._lane_invalidations.append(fid)
         return len(fired)
 
     # -- introspection ---------------------------------------------------------
@@ -528,6 +683,7 @@ class SpeedyBox:
             "events_triggered": self.event_table.total_triggered,
             "fid_collisions": self.classifier.collisions,
             "tracked_flows": len(self.classifier),
+            "classifier_evictions": self.classifier.evictions,
         }
 
     # -- flow lifecycle ------------------------------------------------------
@@ -543,6 +699,24 @@ class SpeedyBox:
         for local_mat in self.local_mats.values():
             local_mat.delete_flow(fid)
         self.event_table.clear_flow(fid)
+
+    def _on_classifier_evicted(self, entry: FlowEntry) -> None:
+        """Classifier capacity eviction: drop *every* trace of the flow.
+
+        Unlike :meth:`_on_rule_evicted` (Global-MAT LRU pressure, where
+        connection state survives), a classifier eviction forgets the
+        flow entirely — its next packet, if any, starts over as a brand
+        new flow.  Compiled closure, Global MAT rule, Local MAT rules and
+        events must all go together (the flow-table growth hazard: a
+        dangling compiled closure would keep serving a forgotten flow).
+        """
+        fid = entry.fid
+        self._invalidate_compiled(fid, reason="classifier_evict")
+        self.global_mat.delete_flow(fid)
+        for local_mat in self.local_mats.values():
+            local_mat.delete_flow(fid)
+        self.event_table.clear_flow(fid)
+        self.audit.emit("classifier_evict", fid=fid, packets=entry.packets)
 
     def delete_flow(self, fid: int, meter: Optional[CycleMeter] = None) -> None:
         """FIN/RST cleanup across every table (§VI-B)."""
@@ -606,7 +780,11 @@ class SpeedyBox:
 
     def reset(self) -> None:
         """Fresh run: clear all tables and NF state."""
-        self.classifier = PacketClassifier(metrics=self.metrics)
+        self.classifier = PacketClassifier(
+            metrics=self.metrics,
+            capacity=self.max_tracked_flows,
+            on_evict=self._on_classifier_evicted,
+        )
         self.event_table = EventTable(metrics=self.metrics)
         self.global_mat = GlobalMAT(
             enable_parallelism=self.global_mat.enable_parallelism,
@@ -620,6 +798,12 @@ class SpeedyBox:
             nf.name: InstrumentationAPI(self.local_mats[nf.name], self.event_table)
             for nf in self.nfs
         }
+        self._memo_apis = [
+            BufferedInstrumentationAPI(self.local_mats[nf.name], self.event_table)
+            for nf in self.nfs
+        ]
+        self._setup_memo.clear()
+        self._compiled_templates.clear()
         self.slow_packets = 0
         self.fast_packets = 0
         self._compiled.clear()

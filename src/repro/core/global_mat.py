@@ -210,6 +210,49 @@ class GlobalMAT:
         self._m_occupancy.set(len(self._rules))
         return new_rule
 
+    def install_prebuilt(self, fid: int, template: GlobalRule) -> GlobalRule:
+        """Install a rule for ``fid`` sharing a template's consolidation.
+
+        The setup memo (batch engine) calls this when a new flow's
+        recorded behaviour is action-for-action identical to a flow that
+        already consolidated: the expensive artifacts — the consolidated
+        action, the parallel schedule, the pre-drop consolidation — are
+        *shared by identity* with the template (all immutable once built;
+        event-driven rebuilds replace the rule rather than mutate these).
+        Counter, audit and LRU side effects mirror :meth:`build_rule`
+        exactly, so the resulting table state is indistinguishable from a
+        from-scratch consolidation.
+        """
+        new_rule = GlobalRule(
+            fid,
+            template.consolidated,
+            template.schedule,
+            template.nf_names,
+            raw_actions=template.raw_actions,
+            pre_drop=template.pre_drop,
+            dropper=template.dropper,
+        )
+        existing = self._rules.get(fid)
+        if existing is not None:
+            new_rule.version = existing.version + 1
+            new_rule.hits = existing.hits
+            self.reconsolidations += 1
+            self._m_reconsolidations.inc()
+        self.consolidations += 1
+        self._m_consolidations.inc()
+        self.audit.emit(
+            "global_mat_rebuild" if existing is not None else "global_mat_insert",
+            fid=fid,
+            version=new_rule.version,
+            waves=template.schedule.wave_count,
+            drop=new_rule.consolidated.drop,
+        )
+        self._rules[fid] = new_rule
+        self._rules.move_to_end(fid)
+        self._enforce_capacity(keep_fid=fid)
+        self._m_occupancy.set(len(self._rules))
+        return new_rule
+
     def _enforce_capacity(self, keep_fid: int) -> None:
         if self.capacity is None:
             return

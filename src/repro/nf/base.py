@@ -27,6 +27,18 @@ from repro.platform.costs import CycleMeter, NULL_METER, Operation
 class NetworkFunction:
     """Abstract NF: subclass and implement :meth:`process`."""
 
+    #: Contract flag for the batch lane's bulk flow admission
+    #: (``repro.core.batchlane``).  ``True`` declares that this NF's
+    #: first-packet behaviour — the operations it charges and the actions
+    #: it records — depends only on the packet's *shape* (headers present,
+    #: payload bytes), never on flow identity or prior state, and that its
+    #: only per-flow side effect on such packets is the aggregate counting
+    #: :meth:`admit_flows` reproduces.  Stateful NFs (NAT port allocation,
+    #: ACLs keyed on the five-tuple, connection trackers) must leave it
+    #: ``False``; the lane then sets up every flow through the ordinary
+    #: per-packet path.
+    setup_flow_oblivious = False
+
     #: Per-packet state functions this NF contributes (None = varies).
     def __init__(self, name: str):
         self.name = name
@@ -59,6 +71,17 @@ class NetworkFunction:
     def handle_flow_close(self, packet: Packet) -> None:
         """Hook: called when the classifier sees the flow's FIN/RST."""
         return None
+
+    def admit_flows(self, count: int) -> None:
+        """Account ``count`` template-admitted first packets in one call.
+
+        The batch lane's bulk admission installs flows from a captured
+        template instead of running the chain per flow; this hook applies
+        the aggregate side effects :meth:`process` would have had.  Only
+        invoked on NFs whose ``setup_flow_oblivious`` is ``True``; the
+        default covers the ingress packet counter.
+        """
+        self.packets_processed += count
 
     # -- migration hooks (repro.scale) ---------------------------------------
     #

@@ -39,6 +39,13 @@ class SyntheticNF(NetworkFunction):
         latency then depends on packet size like a real DPI pass.
     """
 
+    # First-packet behaviour is a pure function of packet shape: the
+    # recorded action is a constructor argument, the state function (when
+    # enabled) makes the recording dynamic and the batch lane's template
+    # guards exclude it anyway, and the only per-flow side effect is the
+    # ingress counter that admit_flows() replays.
+    setup_flow_oblivious = True
+
     def __init__(
         self,
         name: str,

@@ -56,6 +56,11 @@ class PlatformConfig:
     #: when valid, falling back to the DES automatically; False forces
     #: the DES for every run
     analytic_replay: bool = True
+    #: columnar PacketBatch inputs to run_load take the whole-batch lane
+    #: (repro.core.batchlane) when the run is uninstrumented and compiled
+    #: flows are on; False forces batches through the legacy per-packet
+    #: oracle via batch.packet_view() — the equivalence baseline
+    batch_lane: bool = True
 
     def __post_init__(self):
         if self.batch_size <= 0:
@@ -164,11 +169,25 @@ class LoadResult:
         return total
 
 
+#: Marker in ``ProcessReport.plan_cache`` slot 3: the span-sampling lean
+#: loop wrote this entry *after* the flow finished recording, so a hit
+#: may skip the per-packet skip-table probe entirely.  Entries written by
+#: the spans-off loop (slot 3 ``None``) or a batch lane (slot 3 = the
+#: lane) still carry a reusable plan but must not bypass span recording.
+_SPAN_DONE = object()
+
 #: A packet's temporal footprint: per-hop (stage_index, service_ns).
 #: ``stage_index=None`` marks a pure delay with unbounded parallelism —
 #: e.g. worker cores running a packet's SF wave while the ONVM manager
 #: moves on to the next packet.
 StagePlan = List[Tuple[Optional[int], float]]
+
+
+def _is_packet_batch(packets) -> bool:
+    """Duck-type check without importing repro.traffic at module load."""
+    from repro.traffic.columnar import PacketBatch
+
+    return isinstance(packets, PacketBatch)
 
 
 def makespan_with_workers(durations: Sequence[float], workers: int) -> float:
@@ -250,6 +269,9 @@ class Platform:
             runtime.compile_fast_path = False
             runtime._compiled.clear()
         self.packets = 0
+        #: set by the latest whole-batch lane run (None before one):
+        #: offered / span_packets / admitted / dropped / plan_table_size
+        self.last_lane_stats: Optional[dict] = None
         self.metrics = metrics
         self.tracer = tracer
         #: sampled flow-span recorder (repro.obs.span); unlike the tracer
@@ -423,7 +445,19 @@ class Platform:
         ``use_timestamps=True`` packets arrive at their recorded
         ``timestamp_ns`` offsets instead (trace replay; timestamps must
         be non-decreasing).
+
+        ``packets`` may also be a columnar
+        :class:`~repro.traffic.columnar.PacketBatch`: eligible runs (see
+        :meth:`_batch_lane_eligible`) take the whole-batch lane, anything
+        else streams the batch through the per-packet path via
+        :meth:`~repro.traffic.columnar.PacketBatch.packet_view` — either
+        way the result is exactly what the materialized packet list would
+        have produced.
         """
+        if _is_packet_batch(packets):
+            if self._batch_lane_eligible(use_timestamps):
+                return self._run_load_batch(packets, inter_arrival_ns)
+            packets = packets.packet_view()
         spans = self.spans
         if spans is not None:
             spans.begin_run()
@@ -448,6 +482,85 @@ class Platform:
         if spans is not None:
             spans.annotate_loaded(run.arrival_at, run.completions)
         return run.to_load_result(offered=len(plans), dropped=dropped)
+
+    def _batch_lane_eligible(self, use_timestamps: bool) -> bool:
+        """May a PacketBatch take the whole-batch lane on this platform?
+
+        The lane serves steady spans without per-packet reports, so every
+        per-packet instrumentation surface must be off: metrics, tracer,
+        span sampling, timestamped arrival.  It also requires the
+        compiled fast path (the lane *is* a dispatcher over compiled
+        closures) on a SpeedyBox runtime.  Ineligible batches stream
+        through ``packet_view()`` — correct, just per-packet.
+        """
+        config = self.config
+        return (
+            config.batch_lane
+            and config.compiled_flows
+            and not use_timestamps
+            and self.spans is None
+            and not self.metrics.enabled
+            and not self.tracer.enabled
+            and isinstance(self.runtime, SpeedyBox)
+            and self.runtime.compile_fast_path
+        )
+
+    def _run_load_batch(self, batch, inter_arrival_ns: float) -> LoadResult:
+        """Loaded run of a columnar batch through the whole-batch lane."""
+        from repro.core.batchlane import BatchLane
+        from repro.sim.analytic import analytic_replay_vector
+
+        runtime = self.runtime
+        previous_memo = runtime.memoize_setup
+        runtime.memoize_setup = True
+        lane = BatchLane(self, batch)
+        try:
+            table, plan_ids, dropped = lane.run()
+        finally:
+            runtime.memoize_setup = previous_memo
+        offered = len(batch)
+        self.packets += offered
+        # Lane introspection (the batch analogue of the per-packet
+        # counters): how much of the run the array path actually served.
+        # A dict, not audit events — the lane's audit stream must stay
+        # event-for-event identical to the per-packet oracle's.
+        self.last_lane_stats = {
+            "offered": offered,
+            "span_packets": lane.span_packets,
+            "admitted": lane.admitted,
+            "dropped": dropped,
+            "plan_table_size": len(table),
+        }
+
+        if inter_arrival_ns == 0 and self.config.analytic_replay:
+            vectored = analytic_replay_vector(table, plan_ids, self.config.ring_capacity)
+            if vectored is not None:
+                latencies, makespan = vectored
+                return LoadResult(
+                    offered=offered,
+                    delivered=offered - dropped,
+                    dropped=dropped,
+                    makespan_ns=makespan,
+                    latencies_ns=latencies,
+                )
+        # General case: expand the plan table per packet and reuse the
+        # scalar replay machinery (closed form when valid, DES otherwise).
+        plans = [table[pid] for pid in plan_ids]
+        gaps = [inter_arrival_ns] * offered
+        if gaps:
+            gaps[0] = 0.0
+        if self._analytic_valid(plans):
+            arrival_at, completions = analytic_replay(
+                plans, gaps, self._stage_count(), self.config.ring_capacity
+            )
+            run = PipelineRun(rings=[], arrival_at=arrival_at, completions=completions)
+        else:
+            engine = Engine()
+            self._attach_observer(engine)
+            run = self._spawn_pipeline(engine, plans, gaps)
+            engine.run()
+            self._publish_load_metrics(run.rings)
+        return run.to_load_result(offered=offered, dropped=dropped)
 
     def _analytic_valid(self, plans: Sequence[StagePlan]) -> bool:
         """May this run use the closed-form replay instead of the DES?
@@ -534,7 +647,6 @@ class Platform:
                 gaps[0] = 0.0
         process = self.runtime.process
         stage_plan = self._stage_plan
-        plan_cache: Dict[int, StagePlan] = {}
         append_plan = plans.append
         spans = self.spans
         if spans is None:
@@ -543,13 +655,16 @@ class Platform:
                 if report.dropped:
                     dropped += 1
                 if report.steady:
-                    # Identity-keyed: steady reports are per-flow singletons
-                    # kept alive by their CompiledFlow for the whole run.
-                    key = id(report)
-                    plan = plan_cache.get(key)
-                    if plan is None:
+                    # Memoized on the report itself (ProcessReport.plan_cache):
+                    # an id()-keyed side table would go stale once bounded
+                    # flow tables let steady reports be garbage-collected
+                    # mid-run and their ids recycled.
+                    cached = report.plan_cache
+                    if cached is not None and cached[0] is self:
+                        plan = cached[1]
+                    else:
                         plan = stage_plan(report)
-                        plan_cache[key] = plan
+                        report.plan_cache = (self, plan, None, None)
                 else:
                     plan = stage_plan(report)
                 append_plan(plan)
@@ -569,16 +684,20 @@ class Platform:
                 if report.dropped:
                     dropped += 1
                 if report.steady:
-                    key = id(report)
-                    plan = plan_cache.get(key)
-                    if plan is None:
+                    cached = report.plan_cache
+                    if cached is not None and cached[0] is self:
+                        if cached[3] is _SPAN_DONE:
+                            append_plan(cached[1])
+                            continue
+                        plan = cached[1]
+                    else:
                         plan = stage_plan(report)
-                        if skip_get(report.fid) is None:
-                            record_span(report, len(plans))
-                        if skip_get(report.fid) is not None:
-                            # Flow won't record again: cache its plan so
-                            # later packets skip this branch entirely.
-                            plan_cache[key] = plan
+                    if skip_get(report.fid) is None:
+                        record_span(report, len(plans))
+                    if skip_get(report.fid) is not None:
+                        # Flow won't record again: cache its plan so
+                        # later packets skip this branch entirely.
+                        report.plan_cache = (self, plan, None, _SPAN_DONE)
                     append_plan(plan)
                 else:
                     plan = stage_plan(report)
@@ -731,5 +850,6 @@ class Platform:
 
     def reset(self) -> None:
         self.packets = 0
+        self.last_lane_stats = None
         self._trace_clock_ns = 0.0
         self.runtime.reset()

@@ -83,6 +83,13 @@ class Operation(enum.Enum):
     FLOW_DELETE = "flow_delete"              # FIN/RST cleanup
 
 
+# Enum's default __hash__ is a Python-level method call; meters hash an
+# Operation on every charge, millions of times per run.  Members are
+# singletons compared by identity, so the C-level id hash is equivalent
+# (dicts keyed by Operation keep insertion order either way).
+Operation.__hash__ = object.__hash__  # type: ignore[method-assign]
+
+
 @dataclass(frozen=True)
 class CostModel:
     """Cycles per operation, plus the clock that converts cycles to time."""

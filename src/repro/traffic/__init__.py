@@ -10,8 +10,18 @@
   are null for anonymization, we synthesize the testing traffic with
   customized payloads according to the inspection rules in Snort").
 - :mod:`repro.traffic.payloads` — the payload synthesiser.
+- :mod:`repro.traffic.columnar` — struct-of-arrays :class:`PacketBatch`
+  for the batch engine (five-tuple/size/timestamp columns, no per-packet
+  objects), with :func:`uniform_batch` for vectorized million-flow
+  workloads and :func:`batch_from_specs` mirroring the generator.
 """
 
+from repro.traffic.columnar import (
+    LazyPacketView,
+    PacketBatch,
+    batch_from_specs,
+    uniform_batch,
+)
 from repro.traffic.datacenter import DatacenterTraceConfig, DatacenterTraceGenerator
 from repro.traffic.generator import FlowSpec, TrafficGenerator, packets_for_flow
 from repro.traffic.payloads import PayloadSynthesizer
@@ -20,7 +30,11 @@ __all__ = [
     "DatacenterTraceConfig",
     "DatacenterTraceGenerator",
     "FlowSpec",
+    "LazyPacketView",
+    "PacketBatch",
     "PayloadSynthesizer",
     "TrafficGenerator",
+    "batch_from_specs",
     "packets_for_flow",
+    "uniform_batch",
 ]

@@ -1,0 +1,497 @@
+"""Columnar traffic: struct-of-arrays packet batches (batch engine, part 1).
+
+A :class:`PacketBatch` is the column-oriented counterpart of a
+``TrafficGenerator`` packet list: per-flow five-tuple columns plus
+per-packet (flow index, kind, ordinal, seq, size, timestamp) columns —
+no :class:`~repro.net.packet.Packet` objects anywhere.  The batch
+fast-path lane (``repro.core.fastpath.BatchLane``) consumes the columns
+directly; any packet the lane must run through the interpreted runtime
+(initial packets, FIN/RST, fast-path misses) is materialized on demand
+by :meth:`PacketBatch.materialize`, byte-identical to what the per-packet
+generator would have produced — that identity is what makes the legacy
+per-packet path a valid equivalence oracle for batch runs.
+
+Builders:
+
+- :func:`uniform_batch` — vectorized synthesis of N identical-shape
+  flows (the millions-of-flows benchmark path; no per-flow Python
+  objects are created, so 1M flows cost three int64 columns);
+- :func:`batch_from_specs` — expand :class:`~repro.traffic.generator.FlowSpec`
+  lists with the same interleave modes as :class:`TrafficGenerator`
+  (``sequential`` / ``round_robin`` / ``shuffled``), used by the
+  equivalence and property tests.
+
+Columns use numpy when available and ``array``-module storage otherwise
+(see :mod:`repro.vector`); every consumer treats them as opaque
+integer/float sequences.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, List, Optional, Sequence, Union
+
+from repro import vector as vec
+from repro.net.flow import FiveTuple, PROTO_TCP, PROTO_UDP
+from repro.net.headers import TCP_ACK, TCP_FIN, TCP_SYN
+from repro.net.packet import Packet
+from repro.traffic.generator import FlowSpec, PayloadPolicy
+
+#: per-packet kind column values
+KIND_SYN = 0
+KIND_DATA = 1
+KIND_FIN = 2
+
+_BASE_SEQ = 1000
+
+
+class PacketBatch:
+    """A struct-of-arrays batch of packets over a columnar flow table."""
+
+    __slots__ = (
+        "flow_src_ip",
+        "flow_dst_ip",
+        "flow_src_port",
+        "flow_dst_port",
+        "flow_proto",
+        "flow_handshake",
+        "_payloads",
+        "_uniform_payload",
+        "flow_index",
+        "kind",
+        "ordinal",
+        "seq",
+        "size",
+        "timestamp_ns",
+        "_five_tuples",
+        "_ft_getters",
+    )
+
+    def __init__(
+        self,
+        flow_src_ip,
+        flow_dst_ip,
+        flow_src_port,
+        flow_dst_port,
+        flow_proto,
+        flow_handshake,
+        flow_index,
+        kind,
+        ordinal,
+        seq,
+        size,
+        timestamp_ns=None,
+        payloads: Optional[List[PayloadPolicy]] = None,
+        uniform_payload: bytes = b"",
+    ):
+        self.flow_src_ip = flow_src_ip
+        self.flow_dst_ip = flow_dst_ip
+        self.flow_src_port = flow_src_port
+        self.flow_dst_port = flow_dst_port
+        self.flow_proto = flow_proto
+        self.flow_handshake = flow_handshake
+        self._payloads = payloads
+        self._uniform_payload = uniform_payload
+        self.flow_index = flow_index
+        self.kind = kind
+        self.ordinal = ordinal
+        self.seq = seq
+        self.size = size
+        self.timestamp_ns = timestamp_ns
+        #: lazily built FiveTuple cache for flows the scalar path touches
+        self._five_tuples: dict = {}
+        self._ft_getters = None
+
+    # -- shape ---------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.flow_index)
+
+    @property
+    def flow_count(self) -> int:
+        return len(self.flow_src_ip)
+
+    def five_tuple_of(self, flow: int) -> FiveTuple:
+        """The flow's five-tuple (interned per batch)."""
+        cache = self._five_tuples
+        cached = cache.get(flow)
+        if cached is None:
+            if len(cache) > 65536:
+                # Bounded interning: at millions of scalar-touched flows
+                # the cache would grow without limit; rebuilt tuples are
+                # value-equal, which is all any consumer relies on.
+                cache.clear()
+            getters = self._ft_getters
+            if getters is None:
+                # ndarray.item(i) yields a Python scalar in one C call —
+                # noticeably cheaper per admission than int(arr[i]); list
+                # columns already hold Python ints.
+                getters = self._ft_getters = tuple(
+                    column.item if hasattr(column, "item") else column.__getitem__
+                    for column in (
+                        self.flow_src_ip,
+                        self.flow_dst_ip,
+                        self.flow_src_port,
+                        self.flow_dst_port,
+                        self.flow_proto,
+                    )
+                )
+            cached = FiveTuple(
+                getters[0](flow),
+                getters[1](flow),
+                getters[2](flow),
+                getters[3](flow),
+                getters[4](flow),
+            )
+            cache[flow] = cached
+        return cached
+
+    def payload_for(self, flow: int, data_index: int) -> bytes:
+        if self._payloads is None:
+            return self._uniform_payload
+        policy = self._payloads[flow]
+        if callable(policy):
+            return policy(data_index)
+        return policy
+
+    # -- materialization -----------------------------------------------------
+
+    def materialize(self, index: int) -> Packet:
+        """Build packet ``index`` exactly as ``TrafficGenerator`` would."""
+        flow = int(self.flow_index[index])
+        five_tuple = self.five_tuple_of(flow)
+        kind = self.kind[index]
+        ts = 0.0 if self.timestamp_ns is None else float(self.timestamp_ns[index])
+        if kind == KIND_SYN:
+            packet = Packet.from_five_tuple(
+                five_tuple, tcp_flags=TCP_SYN, seq=int(self.seq[index])
+            )
+        elif kind == KIND_FIN:
+            packet = Packet.from_five_tuple(
+                five_tuple, tcp_flags=TCP_FIN | TCP_ACK, seq=int(self.seq[index])
+            )
+        else:
+            data_index = int(self.ordinal[index]) - int(self.flow_handshake[flow])
+            packet = Packet.from_five_tuple(
+                five_tuple,
+                payload=self.payload_for(flow, data_index),
+                tcp_flags=TCP_ACK,
+                seq=int(self.seq[index]),
+            )
+        if ts:
+            packet.timestamp_ns = ts
+        return packet
+
+    def to_packets(self) -> List[Packet]:
+        """Materialize the whole batch (tests and small runs only)."""
+        return [self.materialize(i) for i in range(len(self))]
+
+    def packet_view(self) -> "LazyPacketView":
+        """A sized, iterable view that materializes packets on the fly.
+
+        This is how the legacy per-packet oracle consumes a batch without
+        holding tens of millions of Packet objects at once: ``run_load``
+        only needs ``len()`` and one forward iteration.
+        """
+        return LazyPacketView(self)
+
+    # -- sharding (repro.scale) ----------------------------------------------
+
+    def select_flows(self, flow_ids: Sequence[int]) -> "PacketBatch":
+        """The sub-batch of the given flows, preserving packet order.
+
+        Flow indices are remapped to the compacted flow table, so the
+        result is a self-contained batch (cluster replicas each get one).
+        """
+        wanted = sorted(set(int(f) for f in flow_ids))
+        remap = {flow: new for new, flow in enumerate(wanted)}
+        keep = [i for i in range(len(self)) if int(self.flow_index[i]) in remap]
+        sub_payloads = None
+        if self._payloads is not None:
+            sub_payloads = [self._payloads[f] for f in wanted]
+        return PacketBatch(
+            vec.int_column(int(self.flow_src_ip[f]) for f in wanted),
+            vec.int_column(int(self.flow_dst_ip[f]) for f in wanted),
+            vec.int_column(int(self.flow_src_port[f]) for f in wanted),
+            vec.int_column(int(self.flow_dst_port[f]) for f in wanted),
+            vec.byte_column(int(self.flow_proto[f]) for f in wanted),
+            vec.byte_column(int(self.flow_handshake[f]) for f in wanted),
+            vec.int_column(remap[int(self.flow_index[i])] for i in keep),
+            vec.byte_column(int(self.kind[i]) for i in keep),
+            vec.int_column(int(self.ordinal[i]) for i in keep),
+            vec.int_column(int(self.seq[i]) for i in keep),
+            vec.int_column(int(self.size[i]) for i in keep),
+            timestamp_ns=(
+                None
+                if self.timestamp_ns is None
+                else vec.float_column(float(self.timestamp_ns[i]) for i in keep)
+            ),
+            payloads=sub_payloads,
+            uniform_payload=self._uniform_payload,
+        )
+
+
+class LazyPacketView:
+    """Sized one-packet-at-a-time view over a :class:`PacketBatch`."""
+
+    __slots__ = ("batch",)
+
+    def __init__(self, batch: PacketBatch):
+        self.batch = batch
+
+    def __len__(self) -> int:
+        return len(self.batch)
+
+    def __getitem__(self, index: int) -> Packet:
+        return self.batch.materialize(index)
+
+    def __iter__(self) -> Iterator[Packet]:
+        batch = self.batch
+        for i in range(len(batch)):
+            yield batch.materialize(i)
+
+
+def _flow_order(specs: Sequence[FlowSpec], interleave: str, seed: int) -> List[int]:
+    """Per-packet flow index sequence, mirroring ``TrafficGenerator``."""
+    counts = [spec.total_packets for spec in specs]
+    order: List[int] = []
+    if interleave == "sequential":
+        for flow, count in enumerate(counts):
+            order.extend([flow] * count)
+    elif interleave == "round_robin":
+        remaining = list(counts)
+        left = sum(remaining)
+        while left:
+            for flow in range(len(specs)):
+                if remaining[flow]:
+                    order.append(flow)
+                    remaining[flow] -= 1
+                    left -= 1
+    elif interleave == "shuffled":
+        rng = random.Random(seed)
+        remaining = list(counts)
+        live = [i for i, count in enumerate(remaining) if count]
+        while live:
+            flow = rng.choice(live)
+            order.append(flow)
+            remaining[flow] -= 1
+            if not remaining[flow]:
+                live.remove(flow)
+    else:
+        raise ValueError(f"unknown interleave mode {interleave!r}")
+    return order
+
+
+def batch_from_specs(
+    specs: Sequence[FlowSpec],
+    interleave: str = "sequential",
+    seed: int = 1,
+) -> PacketBatch:
+    """Columnar expansion of flow specs (order-identical to the generator)."""
+    for spec in specs:
+        if spec.packets < 0:
+            raise ValueError(f"negative packet count: {spec.packets}")
+        is_tcp = spec.five_tuple.protocol == PROTO_TCP
+        if spec.handshake and not is_tcp:
+            raise ValueError("handshake requested for a non-TCP flow")
+        if spec.fin and not is_tcp:
+            raise ValueError("fin requested for a non-TCP flow")
+
+    order = _flow_order(specs, interleave, seed)
+    cursor = [0] * len(specs)
+    kinds: List[int] = []
+    ordinals: List[int] = []
+    seqs: List[int] = []
+    sizes: List[int] = []
+    # Per-flow running seq, matching packets_for_flow: SYN consumes 1,
+    # each data packet consumes max(len(payload), 1).
+    next_seq = [_BASE_SEQ] * len(specs)
+    for flow in order:
+        spec = specs[flow]
+        ordinal = cursor[flow]
+        cursor[flow] = ordinal + 1
+        handshake = 1 if spec.handshake else 0
+        if spec.handshake and ordinal == 0:
+            kinds.append(KIND_SYN)
+            seqs.append(next_seq[flow])
+            sizes.append(0)
+            next_seq[flow] += 1
+        elif spec.fin and ordinal == spec.total_packets - 1:
+            kinds.append(KIND_FIN)
+            seqs.append(next_seq[flow])
+            sizes.append(0)
+        else:
+            payload = spec.payload_for(ordinal - handshake)
+            kinds.append(KIND_DATA)
+            seqs.append(next_seq[flow])
+            sizes.append(len(payload))
+            next_seq[flow] += max(len(payload), 1)
+        ordinals.append(ordinal)
+
+    return PacketBatch(
+        vec.int_column(spec.five_tuple.src_ip for spec in specs),
+        vec.int_column(spec.five_tuple.dst_ip for spec in specs),
+        vec.int_column(spec.five_tuple.src_port for spec in specs),
+        vec.int_column(spec.five_tuple.dst_port for spec in specs),
+        vec.byte_column(spec.five_tuple.protocol for spec in specs),
+        vec.byte_column(1 if spec.handshake else 0 for spec in specs),
+        vec.int_column(order),
+        vec.byte_column(kinds),
+        vec.int_column(ordinals),
+        vec.int_column(seqs),
+        vec.int_column(sizes),
+        payloads=[spec.payload for spec in specs],
+    )
+
+
+def uniform_batch(
+    flows: int,
+    packets_per_flow: int,
+    payload: bytes = b"",
+    protocol: Union[int, str] = "udp",
+    handshake: bool = False,
+    fin: bool = False,
+    dst_ip: str = "20.0.0.1",
+    dst_port: int = 80,
+    src_ip_base: str = "10.0.0.0",
+    src_port_base: int = 1024,
+    interleave: str = "round_robin",
+    block: Optional[int] = None,
+) -> PacketBatch:
+    """Vectorized synthesis of ``flows`` identical-shape flows.
+
+    Flow ``f`` sends from ``src_ip_base + 1 + f`` (wrapping inside the
+    /8) with source port ``src_port_base + f % 60000``; all flows share
+    the destination, payload and lifecycle flags.  ``interleave`` is
+    ``sequential`` or ``round_robin``; ``block`` limits round-robin
+    interleaving to blocks of that many flows (blocks run back to back),
+    which is how a bounded-table benchmark keeps its *concurrent* flow
+    count at the block size while the *total* flow count scales to
+    millions.
+
+    With numpy this builds pure array columns — no per-flow or
+    per-packet Python objects; the fallback loops.
+    """
+    if isinstance(protocol, str):
+        protocol = {"udp": PROTO_UDP, "tcp": PROTO_TCP}[protocol]
+    if protocol != PROTO_TCP and (handshake or fin):
+        raise ValueError("handshake/fin require TCP")
+    if interleave not in ("sequential", "round_robin"):
+        raise ValueError(f"unknown interleave mode {interleave!r}")
+    if block is None or block > flows:
+        block = flows if interleave == "round_robin" else 1
+    total_per_flow = packets_per_flow + (1 if handshake else 0) + (1 if fin else 0)
+    step = max(len(payload), 1)
+
+    from repro.net.addresses import ip_to_int
+
+    src_base = ip_to_int(src_ip_base)
+    dst = ip_to_int(dst_ip)
+
+    if vec.HAVE_NUMPY:
+        np = vec.np
+        f = np.arange(flows, dtype=np.int64)
+        # Keep clear of the all-zero host part; wrap inside the /8.
+        flow_src_ip = src_base + 1 + (f % ((1 << 24) - 2))
+        flow_src_port = src_port_base + (f % 60000)
+        flow_dst_ip = np.full(flows, dst, dtype=np.int64)
+        flow_dst_port = np.full(flows, dst_port, dtype=np.int64)
+        flow_proto = np.full(flows, protocol, dtype=np.uint8)
+        flow_handshake = np.full(flows, 1 if handshake else 0, dtype=np.uint8)
+
+        chunks_fi = []
+        chunks_ord = []
+        for start in range(0, flows, block):
+            width = min(block, flows - start)
+            if interleave == "sequential" and block == 1:
+                fi = np.repeat(np.arange(start, start + width), total_per_flow)
+                oi = np.tile(np.arange(total_per_flow, dtype=np.int64), width)
+            else:
+                # round-robin inside the block: ordinal-major order.
+                fi = np.tile(np.arange(start, start + width, dtype=np.int64), total_per_flow)
+                oi = np.repeat(np.arange(total_per_flow, dtype=np.int64), width)
+            chunks_fi.append(fi)
+            chunks_ord.append(oi)
+        flow_index = np.concatenate(chunks_fi)
+        ordinal = np.concatenate(chunks_ord)
+
+        kind = np.full(len(flow_index), KIND_DATA, dtype=np.uint8)
+        data_index = ordinal.copy()
+        if handshake:
+            kind[ordinal == 0] = KIND_SYN
+            data_index = ordinal - 1
+        if fin:
+            kind[ordinal == total_per_flow - 1] = KIND_FIN
+        seq = np.full(len(flow_index), _BASE_SEQ, dtype=np.int64)
+        data_mask = kind == KIND_DATA
+        hs = 1 if handshake else 0
+        seq[data_mask] = _BASE_SEQ + hs + data_index[data_mask] * step
+        if fin:
+            seq[kind == KIND_FIN] = _BASE_SEQ + hs + packets_per_flow * step
+        size = np.where(data_mask, len(payload), 0).astype(np.int64)
+        return PacketBatch(
+            flow_src_ip,
+            flow_dst_ip,
+            flow_src_port,
+            flow_dst_port,
+            flow_proto,
+            flow_handshake,
+            flow_index,
+            kind,
+            ordinal,
+            seq,
+            size,
+            uniform_payload=payload,
+        )
+
+    # -- pure-Python fallback -------------------------------------------------
+    flow_src_ip = vec.int_column(src_base + 1 + (f % ((1 << 24) - 2)) for f in range(flows))
+    flow_dst_ip = vec.int_full(flows, dst)
+    flow_src_port = vec.int_column(src_port_base + (f % 60000) for f in range(flows))
+    flow_dst_port = vec.int_full(flows, dst_port)
+    flow_proto = vec.byte_column([protocol]) * flows
+    flow_handshake = vec.byte_column([1 if handshake else 0]) * flows
+
+    flow_index: List[int] = []
+    ordinal: List[int] = []
+    for start in range(0, flows, block):
+        width = min(block, flows - start)
+        if interleave == "sequential" and block == 1:
+            for f in range(start, start + width):
+                flow_index.extend([f] * total_per_flow)
+                ordinal.extend(range(total_per_flow))
+        else:
+            for o in range(total_per_flow):
+                flow_index.extend(range(start, start + width))
+                ordinal.extend([o] * width)
+    kinds: List[int] = []
+    seqs: List[int] = []
+    sizes: List[int] = []
+    hs = 1 if handshake else 0
+    for o in ordinal:
+        if handshake and o == 0:
+            kinds.append(KIND_SYN)
+            seqs.append(_BASE_SEQ)
+            sizes.append(0)
+        elif fin and o == total_per_flow - 1:
+            kinds.append(KIND_FIN)
+            seqs.append(_BASE_SEQ + hs + packets_per_flow * step)
+            sizes.append(0)
+        else:
+            kinds.append(KIND_DATA)
+            seqs.append(_BASE_SEQ + hs + (o - hs) * step)
+            sizes.append(len(payload))
+    return PacketBatch(
+        flow_src_ip,
+        flow_dst_ip,
+        flow_src_port,
+        flow_dst_port,
+        flow_proto,
+        flow_handshake,
+        vec.int_column(flow_index),
+        vec.byte_column(kinds),
+        vec.int_column(ordinal),
+        vec.int_column(seqs),
+        vec.int_column(sizes),
+        uniform_payload=payload,
+    )

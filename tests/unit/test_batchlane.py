@@ -1,0 +1,220 @@
+"""Whole-batch fast-path lane (repro.core.batchlane) unit behaviour.
+
+Engagement rules, fallback correctness, the bounded-flow-table
+guarantee, and the eviction-teardown audit pairing (the flow-table
+growth hazard: every ``classifier_evict`` of a compiled flow must ship a
+matching ``fastpath_invalidate``, or a dangling closure keeps serving a
+forgotten flow).
+"""
+
+from repro.core.actions import Modify
+from repro.core.framework import SpeedyBox
+from repro.nf import SyntheticNF
+from repro.obs.audit import AuditLog
+from repro.obs.registry import MetricsRegistry
+from repro.platform import BessPlatform, PlatformConfig
+from repro.traffic.columnar import uniform_batch
+
+
+def build_chain():
+    return [
+        SyntheticNF("ttl", action=Modify.ttl_dec(), sf_payload_class=None),
+        SyntheticNF("rewrite", action=Modify.set(dst_port=8080), sf_payload_class=None),
+    ]
+
+
+def make_runtime(**kwargs):
+    return SpeedyBox(build_chain(), **kwargs)
+
+
+def run_batch(batch, *, batch_lane=True, runtime=None):
+    runtime = runtime or make_runtime()
+    platform = BessPlatform(runtime, config=PlatformConfig(batch_lane=batch_lane))
+    return platform.run_load(batch), runtime, platform
+
+
+def results_equal(a, b):
+    return (
+        a.offered == b.offered
+        and a.delivered == b.delivered
+        and a.dropped == b.dropped
+        and a.makespan_ns == b.makespan_ns
+        and a.latencies_ns == b.latencies_ns
+    )
+
+
+def test_lane_eligibility_flags():
+    runtime = make_runtime()
+    platform = BessPlatform(runtime, config=PlatformConfig(batch_lane=True))
+    assert platform._batch_lane_eligible(use_timestamps=False)
+    assert not platform._batch_lane_eligible(use_timestamps=True)
+
+    off = BessPlatform(make_runtime(), config=PlatformConfig(batch_lane=False))
+    assert not off._batch_lane_eligible(use_timestamps=False)
+
+    uncompiled = BessPlatform(
+        make_runtime(), config=PlatformConfig(batch_lane=True, compiled_flows=False)
+    )
+    assert not uncompiled._batch_lane_eligible(use_timestamps=False)
+
+    metered = SpeedyBox(build_chain(), metrics=MetricsRegistry(enabled=True))
+    instrumented = BessPlatform(
+        metered,
+        config=PlatformConfig(batch_lane=True),
+        metrics=metered.metrics,
+    )
+    assert not instrumented._batch_lane_eligible(use_timestamps=False)
+
+
+def test_lane_matches_per_packet_oracle():
+    batch = uniform_batch(40, 5, interleave="round_robin", block=8)
+    lane_result, lane_runtime, __ = run_batch(batch)
+    oracle_result, oracle_runtime, __ = run_batch(batch, batch_lane=False)
+    assert results_equal(lane_result, oracle_result)
+    assert lane_runtime.stats() == oracle_runtime.stats()
+
+
+def test_lane_off_consumes_packet_view():
+    """batch_lane=False streams the batch per-packet — same totals as a list."""
+    batch = uniform_batch(10, 3)
+    off_result, __, ___ = run_batch(batch, batch_lane=False)
+    runtime = make_runtime()
+    platform = BessPlatform(runtime, config=PlatformConfig(batch_lane=False))
+    list_result = platform.run_load(batch.to_packets())
+    assert results_equal(off_result, list_result)
+
+
+def test_flow_table_stays_bounded():
+    capacity = 32
+    runtime = make_runtime(max_tracked_flows=capacity, max_flows=capacity)
+    batch = uniform_batch(500, 2, interleave="round_robin", block=16)
+    result, runtime, __ = run_batch(batch, runtime=runtime)
+    assert result.delivered == len(batch)
+    assert len(runtime.classifier._flows) <= capacity
+    assert len(runtime.global_mat._rules) <= capacity
+    for mat in runtime.local_mats.values():
+        assert len(mat._rules) <= capacity
+    assert runtime.classifier.evictions == 500 - capacity
+
+
+def test_eviction_pairs_invalidate_with_evict_audit():
+    """Satellite: the growth-hazard teardown is audit-visible and paired.
+
+    Every ``classifier_evict`` of a flow whose closure was compiled (and
+    not already invalidated) must be immediately preceded by a
+    ``fastpath_invalidate`` with ``reason='classifier_evict'`` for the
+    same FID — on the lane's inlined teardown and the legacy path alike.
+    """
+    for batch_lane in (True, False):
+        audit = AuditLog()
+        runtime = SpeedyBox(
+            build_chain(), max_tracked_flows=16, max_flows=16, audit=audit
+        )
+        batch = uniform_batch(120, 3, interleave="round_robin", block=8)
+        run_batch(batch, batch_lane=batch_lane, runtime=runtime)
+
+        events = audit.events()
+        compiled_live = set()
+        for event in events:
+            if event["kind"] == "fastpath_compile":
+                compiled_live.add(event["fid"])
+            elif event["kind"] == "fastpath_invalidate":
+                compiled_live.discard(event["fid"])
+        paired = 0
+        for i, event in enumerate(events):
+            if event["kind"] != "classifier_evict":
+                continue
+            fid = event["fid"]
+            preceding = [
+                e
+                for e in events[:i]
+                if e["kind"] == "fastpath_invalidate"
+                and e["fid"] == fid
+                and e["reason"] == "classifier_evict"
+            ]
+            following_compiles = [
+                e
+                for e in events[:i]
+                if e["kind"] == "fastpath_compile" and e["fid"] == fid
+            ]
+            if following_compiles:
+                assert preceding, (
+                    f"classifier_evict fid={fid} without fastpath_invalidate "
+                    f"(batch_lane={batch_lane})"
+                )
+                paired += 1
+        assert paired > 0, "churn cell produced no compiled-flow evictions"
+        # No dangling closures: everything still compiled is still tracked.
+        assert compiled_live == set(runtime._compiled_fids)
+
+
+def test_last_lane_stats_introspection():
+    batch = uniform_batch(30, 4, interleave="round_robin", block=10)
+    result, __, platform = run_batch(batch)
+    stats = platform.last_lane_stats
+    assert stats is not None
+    assert stats["offered"] == len(batch)
+    # The template flow itself admits via the scalar path; the other 29
+    # flows take bulk admission.
+    assert stats["admitted"] == 29
+    assert stats["dropped"] == result.dropped
+    assert 0 < stats["span_packets"] <= len(batch)
+    assert stats["plan_table_size"] >= 1
+    platform.reset()
+    assert platform.last_lane_stats is None
+    # The per-packet oracle never sets it.
+    __, ___, oracle = run_batch(batch, batch_lane=False)
+    assert oracle.last_lane_stats is None
+
+
+def test_mat_evict_pairs_with_fastpath_invalidate():
+    """Global-MAT LRU pressure alone must also tear the closure down.
+
+    With ``max_flows`` below the classifier capacity the Global MAT
+    evicts while the classifier still remembers the flow; every
+    ``global_mat_evict`` of a compiled flow must be followed by a
+    ``fastpath_invalidate`` (reason ``rule_evicted``) for the same FID.
+    """
+    for batch_lane in (True, False):
+        audit = AuditLog()
+        runtime = SpeedyBox(
+            build_chain(), max_tracked_flows=256, max_flows=8, audit=audit
+        )
+        batch = uniform_batch(64, 3, interleave="round_robin", block=16)
+        run_batch(batch, batch_lane=batch_lane, runtime=runtime)
+
+        events = audit.events()
+        compiled = set()
+        paired = 0
+        for i, event in enumerate(events):
+            kind = event["kind"]
+            if kind == "fastpath_compile":
+                compiled.add(event["fid"])
+            elif kind == "global_mat_evict" and event["fid"] in compiled:
+                tail = events[i + 1 :]
+                assert any(
+                    e["kind"] == "fastpath_invalidate"
+                    and e["fid"] == event["fid"]
+                    and e["reason"] == "rule_evicted"
+                    for e in tail[:4]
+                ), f"global_mat_evict fid={event['fid']} left a dangling closure"
+                compiled.discard(event["fid"])
+                paired += 1
+        assert paired > 0, "capacity pressure produced no compiled-rule evictions"
+        assert len(runtime.global_mat._rules) <= 8
+
+
+def test_lane_and_oracle_emit_identical_audit_streams():
+    def run(batch_lane):
+        audit = AuditLog()
+        runtime = SpeedyBox(
+            build_chain(), max_tracked_flows=16, max_flows=16, audit=audit
+        )
+        batch = uniform_batch(60, 4, interleave="round_robin", block=8)
+        run_batch(batch, batch_lane=batch_lane, runtime=runtime)
+        return [
+            {k: v for k, v in event.items() if k != "ts"}
+            for event in audit.events()
+        ]
+
+    assert run(True) == run(False)

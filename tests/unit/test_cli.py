@@ -216,3 +216,37 @@ class TestScaleCommand:
         payload = json.loads(target.read_text())
         assert "cluster_replicas" in payload
         assert "flow_migrations_total" in payload
+
+
+class TestBatchCommand:
+    def test_batch_lane_run(self, capsys):
+        assert main(
+            ["batch", "--flows", "200", "--packets-per-flow", "3",
+             "--table", "64", "--block", "32"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "batch lane" in out
+        assert "us/packet" in out
+
+    def test_batch_compare_legs_identical(self, capsys):
+        assert main(
+            ["batch", "--flows", "120", "--packets-per-flow", "4",
+             "--table", "48", "--block", "16", "--compare"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "per-packet" in out
+        assert "identical results: yes" in out
+
+    def test_batch_no_lane_flag(self, capsys):
+        assert main(
+            ["batch", "--flows", "50", "--packets-per-flow", "2",
+             "--no-batch-lane"]
+        ) == 0
+        assert "batch" in capsys.readouterr().out
+
+    def test_batch_onvm_platform(self, capsys):
+        assert main(
+            ["batch", "--platform", "onvm", "--flows", "60",
+             "--packets-per-flow", "2", "--compare"]
+        ) == 0
+        assert "identical results: yes" in capsys.readouterr().out

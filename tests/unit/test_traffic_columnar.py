@@ -1,0 +1,175 @@
+"""Columnar traffic (repro.traffic.columnar) vs the per-packet generator.
+
+The batch lane's correctness story starts here: a PacketBatch must
+materialize to exactly the packet stream TrafficGenerator would emit for
+the same flow specs, in every interleave mode, or every downstream
+equivalence claim is meaningless.  The suite also pins the vectorized
+FID column against the scalar hash and exercises the REPRO_NO_NUMPY
+import guard in a subprocess (the pure-Python fallback must behave
+identically).
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro import vector as vec
+from repro.core.classifier import fid_column, fid_of
+from repro.traffic.columnar import (
+    PacketBatch,
+    batch_from_specs,
+    uniform_batch,
+)
+from repro.traffic.generator import FlowSpec, TrafficGenerator
+
+
+def mixed_specs():
+    return [
+        FlowSpec.udp("10.0.0.1", "20.0.0.1", 1111, 80, packets=3, payload=b"aa"),
+        FlowSpec.tcp(
+            "10.0.0.2", "20.0.0.1", 2222, 443, packets=2, handshake=True, fin=True
+        ),
+        FlowSpec.udp("10.0.0.3", "20.0.0.2", 3333, 53, packets=1),
+        FlowSpec.tcp(
+            "10.0.0.4",
+            "20.0.0.1",
+            4444,
+            8080,
+            packets=4,
+            payload=lambda i: bytes([i]) * (i + 1),
+            handshake=True,
+        ),
+    ]
+
+
+def wire(packets):
+    return [p.serialize() for p in packets]
+
+
+@pytest.mark.parametrize("interleave", ["sequential", "round_robin", "shuffled"])
+def test_batch_from_specs_matches_generator(interleave):
+    specs = mixed_specs()
+    batch = batch_from_specs(specs, interleave=interleave, seed=7)
+    expected = TrafficGenerator(specs, interleave=interleave, seed=7).packets()
+    assert len(batch) == len(expected)
+    assert wire(batch.to_packets()) == wire(expected)
+
+
+def test_packet_view_is_lazy_and_identical():
+    specs = mixed_specs()
+    batch = batch_from_specs(specs, interleave="round_robin")
+    view = batch.packet_view()
+    assert len(view) == len(batch)
+    assert wire(list(view)) == wire(batch.to_packets())
+    # Indexed access materializes the same packet as iteration.
+    assert view[3].serialize() == batch.materialize(3).serialize()
+
+
+def test_uniform_batch_matches_equivalent_specs():
+    batch = uniform_batch(
+        6, 3, payload=b"xy", interleave="round_robin", block=3, dst_port=81
+    )
+    specs = [
+        FlowSpec.udp(
+            f"10.0.0.{f + 1}", "20.0.0.1", 1024 + f, 81, packets=3, payload=b"xy"
+        )
+        for f in range(6)
+    ]
+    # block=3: flows [0,1,2] round-robin to completion, then [3,4,5].
+    first = TrafficGenerator(specs[:3], interleave="round_robin").packets()
+    second = TrafficGenerator(specs[3:], interleave="round_robin").packets()
+    assert wire(batch.to_packets()) == wire(first + second)
+
+
+def test_uniform_batch_tcp_lifecycle():
+    batch = uniform_batch(
+        2, 2, protocol="tcp", handshake=True, fin=True, interleave="sequential"
+    )
+    packets = batch.to_packets()
+    specs = [
+        FlowSpec.tcp(
+            f"10.0.0.{f + 1}", "20.0.0.1", 1024 + f, 80,
+            packets=2, handshake=True, fin=True,
+        )
+        for f in range(2)
+    ]
+    expected = TrafficGenerator(specs, interleave="sequential").packets()
+    assert wire(packets) == wire(expected)
+
+
+def test_select_flows_is_self_contained():
+    specs = mixed_specs()
+    batch = batch_from_specs(specs, interleave="round_robin")
+    sub = batch.select_flows([1, 3])
+    assert sub.flow_count == 2
+    # The sub-batch preserves packet order and is internally remapped.
+    kept = [
+        p for p in batch.to_packets()
+        if p.serialize() in set(wire(sub.to_packets()))
+    ]
+    assert wire(sub.to_packets()) == wire(kept)
+    assert max(int(f) for f in sub.flow_index) <= 1
+
+
+def test_fid_column_matches_scalar_fid():
+    batch = uniform_batch(257, 1, interleave="sequential")
+    column = fid_column(
+        batch.flow_src_ip,
+        batch.flow_dst_ip,
+        batch.flow_src_port,
+        batch.flow_dst_port,
+        batch.flow_proto,
+    )
+    for flow in range(batch.flow_count):
+        assert int(column[flow]) == fid_of(batch.five_tuple_of(flow))
+
+
+def test_rejects_bad_arguments():
+    with pytest.raises(ValueError):
+        uniform_batch(2, 1, handshake=True)  # handshake requires TCP
+    with pytest.raises(ValueError):
+        uniform_batch(2, 1, interleave="zigzag")
+    with pytest.raises(ValueError):
+        batch_from_specs(mixed_specs(), interleave="zigzag")
+
+
+def test_no_numpy_import_guard_subprocess():
+    """REPRO_NO_NUMPY=1 forces the array-module fallback (satellite a).
+
+    Run in a subprocess so the parent's cached ``repro.vector`` module is
+    untouched; the fallback must produce the same wire bytes.
+    """
+    probe = (
+        "from repro import vector as vec\n"
+        "assert not vec.HAVE_NUMPY, 'guard did not disable numpy'\n"
+        "assert vec.np is None\n"
+        "from repro.traffic.columnar import uniform_batch\n"
+        "batch = uniform_batch(4, 2, payload=b'z', interleave='round_robin')\n"
+        "import sys\n"
+        "sys.stdout.buffer.write(b''.join(p.serialize() for p in batch.to_packets()))\n"
+    )
+    env = dict(os.environ, REPRO_NO_NUMPY="1")
+    env.setdefault("PYTHONPATH", "")
+    env["PYTHONPATH"] = os.pathsep.join(
+        [p for p in (env["PYTHONPATH"],) if p] + sys.path
+    )
+    result = subprocess.run(
+        [sys.executable, "-c", probe], env=env, capture_output=True
+    )
+    assert result.returncode == 0, result.stderr.decode()
+    here = uniform_batch(4, 2, payload=b"z", interleave="round_robin")
+    assert result.stdout == b"".join(p.serialize() for p in here.to_packets())
+
+
+def test_vector_module_columns_roundtrip():
+    ints = vec.int_column([5, 6, 7])
+    assert list(ints) == [5, 6, 7]
+    assert list(vec.byte_column([1, 0, 255])) == [1, 0, 255]
+    zeros = vec.int_zeros(3)
+    assert list(zeros) == [0, 0, 0]
+
+
+def test_batch_is_packetbatch_instance():
+    assert isinstance(uniform_batch(1, 1), PacketBatch)
