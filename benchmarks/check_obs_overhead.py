@@ -11,11 +11,14 @@ fast path for free: unsampled flows pay one dict probe per packet.
 ``benchmarks/test_obs_overhead.py`` measures the uninstrumented and
 sampled runs back to back on the same machine, so the recorded
 ``sampled_overhead`` ratio is machine-independent and can be checked
-directly — no baseline normalisation needed.  A run fails when the
-sampled overhead exceeds the threshold (default 5%), when sampling
-degenerated (no flows sampled, or full-capture recorded no more spans
-than sampled), or when required metrics are missing.  Exit code 1 on
-any failure.
+directly — no baseline normalisation needed.  The same bound applies
+to the windowed-telemetry cells (``timeseries_overhead`` on the
+compiled per-packet path, ``lane_timeseries_overhead`` on the batch
+lane — the latter skipped when the lane cells report zero, i.e. the
+measuring box had no numpy).  A run fails when any instrumented cell
+exceeds the threshold (default 5%), when sampling degenerated (no
+flows sampled, or full-capture recorded no more spans than sampled),
+or when required metrics are missing.  Exit code 1 on any failure.
 """
 
 from __future__ import annotations
@@ -31,6 +34,11 @@ REQUIRED = (
     "sampled_flows_sampled",
     "sampled_spans",
     "full_spans",
+    "timeseries_s",
+    "timeseries_overhead",
+    "lane_off_s",
+    "lane_timeseries_s",
+    "lane_timeseries_overhead",
 )
 
 
@@ -69,6 +77,29 @@ def check(metrics: dict, threshold: float) -> int:
             f"({metrics['full_spans']:.0f} vs {metrics['sampled_spans']:.0f})"
         )
         failures += 1
+    ts_overhead = metrics["timeseries_overhead"]
+    status = "ok" if ts_overhead <= threshold else "FAIL"
+    print(
+        f"{status:4s} telemetry overhead (per-packet): {100 * ts_overhead:+.1f}% "
+        f"(off {metrics['off_s']:.3f}s, timeseries {metrics['timeseries_s']:.3f}s, "
+        f"budget {100 * threshold:.0f}%)"
+    )
+    if ts_overhead > threshold:
+        failures += 1
+    if metrics["lane_off_s"] > 0:
+        lane_overhead = metrics["lane_timeseries_overhead"]
+        status = "ok" if lane_overhead <= threshold else "FAIL"
+        print(
+            f"{status:4s} telemetry overhead (batch lane): "
+            f"{100 * lane_overhead:+.1f}% "
+            f"(off {metrics['lane_off_s']:.3f}s, "
+            f"timeseries {metrics['lane_timeseries_s']:.3f}s, "
+            f"budget {100 * threshold:.0f}%)"
+        )
+        if lane_overhead > threshold:
+            failures += 1
+    else:
+        print("skip batch-lane telemetry cells (measured without numpy)")
     return failures
 
 

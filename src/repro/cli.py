@@ -20,9 +20,19 @@ Commands
 
 ``obs report``
     Render a text dashboard (top flows by latency, SLO attainment, cycle
-    attribution, audit summary, metrics) from the artifacts another
-    command wrote via ``--metrics-json``/``--metrics-prom``,
-    ``--span-out`` and ``--audit-out``.
+    attribution, audit summary, metrics, telemetry windows) from the
+    artifacts another command wrote via ``--metrics-json``/
+    ``--metrics-prom``, ``--span-out``, ``--audit-out`` and
+    ``--timeseries-out``.
+
+``obs watch``
+    Render the per-window telemetry table from a ``--timeseries-out``
+    artifact, with the health transitions and SLO burn alerts from the
+    matching ``--audit-out`` file when given.
+
+``obs diff``
+    Compare two sets of ``BENCH_*.json`` results (files or directories)
+    direction-aware and exit 1 on regressions — the CI bench gate.
 
 ``ft demo`` / ``ft report``
     Kill a replica mid-stream under checkpointed fault tolerance and
@@ -62,11 +72,14 @@ from repro.nf.base import NetworkFunction
 from repro.obs import (
     AuditLog,
     FlowSpanRecorder,
+    HealthModel,
     MetricsRegistry,
     NULL_AUDIT,
     NULL_REGISTRY,
     NULL_TRACER,
     PacketTracer,
+    SLOEngine,
+    TimeSeries,
 )
 from repro.platform import BessPlatform, OpenNetVMPlatform
 from repro.stats import Distribution, format_table
@@ -110,11 +123,17 @@ def build_chain(spec: str) -> List[NetworkFunction]:
     return nfs
 
 
-def build_platform(name: str, runtime, metrics=NULL_REGISTRY, tracer=NULL_TRACER, spans=None):
+def build_platform(
+    name: str, runtime, metrics=NULL_REGISTRY, tracer=NULL_TRACER, spans=None, timeseries=None
+):
     if name == "bess":
-        return BessPlatform(runtime, metrics=metrics, tracer=tracer, spans=spans)
+        return BessPlatform(
+            runtime, metrics=metrics, tracer=tracer, spans=spans, timeseries=timeseries
+        )
     if name == "onvm":
-        return OpenNetVMPlatform(runtime, metrics=metrics, tracer=tracer, spans=spans)
+        return OpenNetVMPlatform(
+            runtime, metrics=metrics, tracer=tracer, spans=spans, timeseries=timeseries
+        )
     raise SystemExit(f"unknown platform {name!r} (bess|onvm)")
 
 
@@ -126,6 +145,9 @@ class ObsBundle:
     tracer: PacketTracer = NULL_TRACER
     audit: AuditLog = NULL_AUDIT
     spans: Optional[FlowSpanRecorder] = None
+    timeseries: Optional[TimeSeries] = None
+    health: Optional[HealthModel] = None
+    slo: Optional[SLOEngine] = None
 
     def speedybox_kwargs(self) -> dict:
         """Keyword arguments for a SpeedyBox runtime built from this bundle."""
@@ -137,8 +159,10 @@ def make_observability(args) -> ObsBundle:
 
     ``--metrics-json``/``--metrics-prom`` enable the registry,
     ``--trace-out`` the packet tracer, ``--audit-out`` the decision audit
-    log, and ``--span-out`` the 1-in-N flow span sampler (ratio from
-    ``--span-every``).
+    log, ``--span-out`` the 1-in-N flow span sampler (ratio from
+    ``--span-every``), and ``--timeseries-out``/``--slo`` the windowed
+    telemetry layer (window clock from ``--window-ns`` or
+    ``--window-packets``) with its health model and SLO engine.
     """
     want_metrics = getattr(args, "metrics_json", None) or getattr(args, "metrics_prom", None)
     metrics = MetricsRegistry() if want_metrics else NULL_REGISTRY
@@ -147,7 +171,29 @@ def make_observability(args) -> ObsBundle:
     spans = None
     if getattr(args, "span_out", None):
         spans = FlowSpanRecorder(every=max(1, getattr(args, "span_every", 64)))
-    return ObsBundle(metrics=metrics, tracer=tracer, audit=audit, spans=spans)
+    timeseries = health = slo = None
+    slo_specs = getattr(args, "slo", None)
+    if getattr(args, "timeseries_out", None) or slo_specs:
+        window_packets = getattr(args, "window_packets", None)
+        if window_packets:
+            timeseries = TimeSeries(window_packets=window_packets, registry=metrics)
+        else:
+            timeseries = TimeSeries(
+                window_ns=getattr(args, "window_ns", None) or 1_000_000.0,
+                registry=metrics,
+            )
+        health = HealthModel(timeseries=timeseries, audit=audit)
+        if slo_specs:
+            slo = SLOEngine.from_specs(slo_specs, timeseries=timeseries, audit=audit)
+    return ObsBundle(
+        metrics=metrics,
+        tracer=tracer,
+        audit=audit,
+        spans=spans,
+        timeseries=timeseries,
+        health=health,
+        slo=slo,
+    )
 
 
 def emit_observability(args, obs: ObsBundle) -> None:
@@ -186,6 +232,15 @@ def emit_observability(args, obs: ObsBundle) -> None:
         count = tracer.write_chrome(args.trace_out)
         print(f"wrote {count} trace events to {args.trace_out} "
               f"(open in chrome://tracing or ui.perfetto.dev)")
+    timeseries, health, slo = obs.timeseries, obs.health, obs.slo
+    if timeseries is not None and getattr(args, "timeseries_out", None):
+        timeseries.finish()
+        count = timeseries.write_jsonl(args.timeseries_out)
+        print(f"wrote {count} telemetry windows to {args.timeseries_out}")
+    if health is not None and health.snapshot():
+        print(f"cluster health: {health.worst_state()}")
+    if slo is not None:
+        print(slo.render())
 
 
 def make_trace_packets(flows: int, seed: int, mean_packets: float = 8.0):
@@ -231,6 +286,7 @@ def cmd_demo(args: argparse.Namespace) -> int:
             metrics=obs.metrics,
             tracer=obs.tracer,
             spans=obs.spans,
+            timeseries=obs.timeseries,
         )
         latency = Distribution()
         dropped = 0
@@ -436,6 +492,7 @@ def cmd_scale(args: argparse.Namespace) -> int:
                 tracer=obs.tracer,
                 audit=obs.audit,
                 spans=obs.spans,
+                timeseries=obs.timeseries,
             )
             ft = None
             if want_ft:
@@ -449,7 +506,12 @@ def cmd_scale(args: argparse.Namespace) -> int:
                         kill_at=args.kill_at if count > 1 else None,
                         recover_after=args.recover_after,
                     ),
+                    tracer=obs.tracer,
                 )
+                if obs.health is not None:
+                    # Degraded windows trigger proactive checkpoints
+                    # while the struggling replica is still reachable.
+                    obs.health.add_listener(ft.on_health)
             migrations = 0
             if args.churn:
                 # Establish live flows (FINs withheld so they survive),
@@ -508,20 +570,54 @@ def cmd_scale(args: argparse.Namespace) -> int:
 def cmd_obs(args: argparse.Namespace) -> int:
     from repro.obs.report import load_jsonl, load_metrics, render_report
 
-    if args.action != "report":  # argparse choices guard; belt and braces
-        print(f"unknown obs action {args.action!r}", file=sys.stderr)
+    if args.action == "diff":
+        from repro.obs import collect_benches, diff_benches, render_diff
+        from repro.obs.benchdiff import regressions
+
+        if not (args.baseline and args.current):
+            print("obs diff: pass --baseline PATH and --current PATH "
+                  "(BENCH_*.json files or directories)", file=sys.stderr)
+            return 2
+        entries = diff_benches(
+            collect_benches(args.baseline),
+            collect_benches(args.current),
+            threshold=args.threshold,
+        )
+        print(render_diff(entries, show_ok=args.show_ok))
+        return 1 if regressions(entries) else 0
+
+    if args.action == "watch":
+        from repro.obs import load_timeseries_jsonl, render_windows
+        from repro.obs.report import HEALTH_KINDS, SLO_KINDS, render_health_slo
+
+        if not args.windows:
+            print("obs watch: pass --windows PATH (a run's --timeseries-out file)",
+                  file=sys.stderr)
+            return 2
+        rows = load_timeseries_jsonl(args.windows)
+        print(render_windows(rows, title=f"telemetry windows ({args.windows})"))
+        if args.audit:
+            events = load_jsonl(args.audit)
+            if any(e.get("kind") in HEALTH_KINDS + SLO_KINDS for e in events):
+                print()
+                print(render_health_slo(events))
+        return 0
+
+    if not (args.metrics or args.spans or args.audit or args.windows):
+        print("obs report: pass at least one of --metrics, --spans, --audit, "
+              "--windows", file=sys.stderr)
         return 2
-    if not (args.metrics or args.spans or args.audit):
-        print("obs report: pass at least one of --metrics, --spans, --audit",
-              file=sys.stderr)
-        return 2
+    from repro.obs import load_timeseries_jsonl
+
     metrics = load_metrics(args.metrics) if args.metrics else None
     spans = load_jsonl(args.spans) if args.spans else None
     audit = load_jsonl(args.audit) if args.audit else None
+    windows = load_timeseries_jsonl(args.windows) if args.windows else None
     print(render_report(
         metrics=metrics,
         spans=spans,
         audit=audit,
+        windows=windows,
         slo_us=args.slo_us,
         percentile=args.percentile,
         top=args.top,
@@ -567,6 +663,7 @@ def cmd_ft(args: argparse.Namespace) -> int:
             replica=args.kill_replica,
             recover_after=args.recover_after,
         ),
+        tracer=obs.tracer,
     )
     print(f"chain: {args.chain}   replicas: {args.replicas}   "
           f"packets: {len(packets)}   kill at: {kill_at}   "
@@ -692,6 +789,34 @@ def make_parser() -> argparse.ArgumentParser:
             default=64,
             metavar="N",
             help="sample 1 in N flows for spans (default 64; 1 = every flow)",
+        )
+        p.add_argument(
+            "--timeseries-out",
+            metavar="PATH",
+            help="enable windowed telemetry (and the cluster health model) "
+                 "and write per-window summaries as JSON lines",
+        )
+        p.add_argument(
+            "--window-ns",
+            type=float,
+            default=None,
+            metavar="NS",
+            help="telemetry window width in simulated ns (default 1e6)",
+        )
+        p.add_argument(
+            "--window-packets",
+            type=int,
+            default=None,
+            metavar="N",
+            help="use an N-packet window clock instead of simulated time",
+        )
+        p.add_argument(
+            "--slo",
+            action="append",
+            default=None,
+            metavar="SPEC",
+            help="declare an SLO, e.g. 'p99<250us@0.999' or 'loss<0.1%%' "
+                 "(repeatable; enables the telemetry layer and SLO engine)",
         )
 
     demo = sub.add_parser("demo", help="run a chain with and without SpeedyBox")
@@ -842,9 +967,23 @@ def make_parser() -> argparse.ArgumentParser:
     ft.set_defaults(func=cmd_ft)
 
     obs = sub.add_parser(
-        "obs", help="render observability artifacts (spans, audit, metrics)"
+        "obs",
+        help="render observability artifacts (spans, audit, metrics, "
+             "telemetry windows) or diff benchmark results",
     )
-    obs.add_argument("action", choices=["report"], help="what to render")
+    obs.add_argument(
+        "action", choices=["report", "watch", "diff"], help="what to render"
+    )
+    obs.add_argument("--windows", metavar="PATH",
+                     help="telemetry-window JSONL file (a --timeseries-out artifact)")
+    obs.add_argument("--baseline", metavar="PATH",
+                     help="diff: baseline BENCH_*.json file or directory")
+    obs.add_argument("--current", metavar="PATH",
+                     help="diff: current BENCH_*.json file or directory")
+    obs.add_argument("--threshold", type=float, default=0.05, metavar="FRAC",
+                     help="diff: regression threshold as a fraction (default 0.05)")
+    obs.add_argument("--show-ok", action="store_true",
+                     help="diff: also list unchanged metrics")
     obs.add_argument("--metrics", metavar="PATH",
                      help="metrics snapshot (JSON) or Prometheus text file")
     obs.add_argument("--spans", metavar="PATH", help="flow-span JSONL file")

@@ -208,6 +208,16 @@ class BatchLane:
         #: no-op calls outright (behavior-identical: a null set/inc does
         #: nothing by definition)
         self._null_metrics = runtime.classifier._m_flows is NULL_INSTRUMENT
+        #: sampled flow-span recorder, when the platform carries one.
+        #: Sampled flows are kept off the array path (``fstat`` stays 0)
+        #: so every one of their packets reaches the scalar oracle and
+        #: records real per-stage spans; unsampled (or span-capped)
+        #: flows keep full lane speed.  No audit events, no result
+        #: change — the lane stays equivalent to the per-packet path
+        #: with the same recorder attached.
+        self.spans = platform.spans
+        #: deferred-region flush count (lane introspection + metrics)
+        self.flushes = 0
         #: flow five-tuple columns as plain Python lists, built on first
         #: bulk admission: list indexing beats per-field ndarray .item()
         #: calls when admissions number in the hundreds of thousands
@@ -262,7 +272,42 @@ class BatchLane:
         if template is not None and self.admitted:
             for nf in self.runtime.nfs[: template.ran]:
                 nf.admit_flows(self.admitted)
+        self._publish_lane_metrics()
         return self.table, self.plan_ids, self.dropped
+
+    def _publish_lane_metrics(self) -> None:
+        """One registry update per batch (never per packet).
+
+        Published into the *runtime's* registry — the platform registry
+        must be off for the lane to engage at all, but a SpeedyBox may
+        carry its own.  These are lane-only introspection series
+        (``lane_*``); the per-flow/table metrics the oracle would have
+        produced are kept in parity by the admission path itself.
+        """
+        metrics = getattr(self.runtime, "metrics", None)
+        if metrics is None or not metrics.enabled:
+            return
+        metrics.counter(
+            "lane_batches_total", "whole-batch lane runs"
+        ).inc()
+        metrics.counter(
+            "lane_fast_packets_total", "packets served by whole-run array ops"
+        ).inc(self.span_packets)
+        metrics.counter(
+            "lane_admitted_flows_total", "flows installed by bulk admission"
+        ).inc(self.admitted)
+        metrics.counter(
+            "lane_flushes_total", "deferred-region flushes"
+        ).inc(self.flushes)
+        metrics.counter(
+            "lane_dropped_total", "packets dropped on the lane"
+        ).inc(self.dropped)
+        metrics.gauge(
+            "lane_plan_table_size", "deduplicated stage plans after the last batch"
+        ).set(len(self.table))
+        metrics.gauge(
+            "lane_region_occupancy", "deferred packets awaiting flush at batch end"
+        ).set(0)
 
     def _run_numpy(self, n: int) -> None:
         np = vec.np
@@ -499,6 +544,7 @@ class BatchLane:
         deferred = self._deferred
         if not deferred:
             return
+        self.flushes += 1
         np = vec.np
         flow_arr = self.flow_arr
         if len(deferred) == 1:
@@ -538,13 +584,20 @@ class BatchLane:
             and kind == KIND_DATA
             and self._proto_of(flow) == PROTO_UDP
         )
+        spans = self.spans
         if bulk_shape and self.template is not None:
             fid = self._fid_of_flow(flow)
             entry = runtime.classifier._flows.get(fid)
             if entry is None:
-                self._admit(flow, fid, index)
-                return
-            if entry.five_tuple != batch.five_tuple_of(flow):
+                # The sampling decision must fall in first-packet order,
+                # exactly where the per-packet path would take it.  A
+                # sampled flow skips bulk admission — its first packet
+                # (and every later one, via ``fstat`` staying 0) goes
+                # through the oracle so the recorder sees real reports.
+                if spans is None or not spans.wants(fid):
+                    self._admit(flow, fid, index)
+                    return
+            elif entry.five_tuple != batch.five_tuple_of(flow):
                 # FID collision: the classifier pins the flow to the
                 # slow path before touching any table, which is what
                 # makes its data packets deferral-safe.
@@ -552,6 +605,8 @@ class BatchLane:
 
         packet = batch.materialize(index)
         report = runtime.process(packet)
+        if spans is not None and spans.skip.get(report.fid) is None:
+            spans.record(report, index)
         if report.dropped:
             self.dropped += 1
         if report.steady:
@@ -562,7 +617,14 @@ class BatchLane:
 
         five_tuple = batch.five_tuple_of(flow)
         clone = runtime._compiled.get(five_tuple)
-        if clone is not None and clone.steady_report is not None:
+        if (
+            clone is not None
+            and clone.steady_report is not None
+            # A sampled flow stays scalar for life so each packet keeps
+            # producing spans; once capped (skip entry present) it earns
+            # the fast lane back.
+            and (spans is None or spans.skip.get(report.fid) is not None)
+        ):
             self.fstat[flow] = 1
         else:
             self.fstat[flow] = 0

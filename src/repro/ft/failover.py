@@ -58,6 +58,7 @@ from typing import Dict, List, Optional
 from repro.net.packet import Packet
 from repro.obs.audit import AuditLog
 from repro.obs.registry import MetricsRegistry
+from repro.obs.trace import NULL_TRACER, PacketTracer
 from repro.scale.cluster import ChainReplica, ScaleCluster
 from repro.ft.checkpoint import CheckpointManager, restore_flow
 from repro.ft.faults import FaultInjector
@@ -77,6 +78,8 @@ class DeadReplica:
     killed_at_index: int
     buffered: List[Packet] = field(default_factory=list)
     frozen_absorbed: int = 0
+    #: recovery-timeline clock: when the kill landed (tracer ns)
+    killed_ns: float = 0.0
 
 
 @dataclass
@@ -105,6 +108,7 @@ class FaultTolerance:
         store: Optional[TransactionalStore] = None,
         audit: Optional[AuditLog] = None,
         metrics: Optional[MetricsRegistry] = None,
+        tracer: PacketTracer = NULL_TRACER,
     ):
         if checkpoint_interval <= 0:
             raise ValueError(
@@ -134,7 +138,27 @@ class FaultTolerance:
         self._m_replayed = metrics.counter(
             "ft_replayed_packets_total", "log entries replayed during recovery"
         )
+        #: recovery-timeline spans land on track ``ft:r<id>`` and stitch
+        #: into the same Chrome-trace export the packet spans use
+        self.tracer = tracer
+        self._trace_origin = time.perf_counter()
+        self._m_restore_ns = metrics.counter(
+            "ft_restore_ns_total", "wall time spent restoring checkpoints"
+        )
+        self._m_replay_ns = metrics.counter(
+            "ft_replay_ns_total", "wall time spent replaying input logs"
+        )
+        self._m_drain_ns = metrics.counter(
+            "ft_drain_ns_total", "wall time spent draining buffered in-flight packets"
+        )
+        self._m_health_checkpoints = metrics.counter(
+            "ft_health_checkpoints_total",
+            "proactive checkpoints triggered by cluster-health transitions",
+        )
         cluster.ft = self
+
+    def _now_ns(self) -> float:
+        return (time.perf_counter() - self._trace_origin) * 1e9
 
     # -- cluster hooks (called from ScaleCluster's dispatch path) -----------
 
@@ -194,6 +218,25 @@ class FaultTolerance:
                 dst_rid, key, log_seq=log.last_seq, cause="migrated_in"
             )
 
+    def on_health(self, report) -> None:
+        """Cluster-health listener: snapshot a struggling replica early.
+
+        Subscribed via ``HealthModel.add_listener(ft.on_health)``.  A
+        replica whose windows turn degraded or critical is statistically
+        closer to a kill than its peers, so take a checkpoint *now*
+        while its state is still reachable — recovery then replays from
+        the onset of trouble instead of the last cadence snapshot.
+        """
+        if self._in_recovery:
+            return
+        from repro.obs.health import HEALTHY
+
+        rid = report.replica
+        if report.state == HEALTHY or rid not in self.cluster.replicas:
+            return
+        self._m_health_checkpoints.inc()
+        self.checkpoint_replica(rid, cause=f"health_{report.state}")
+
     # -- checkpoint cadence --------------------------------------------------
 
     def _log_for(self, replica_id: int) -> PacketLog:
@@ -245,7 +288,12 @@ class FaultTolerance:
             raise FailoverError(f"unknown or already-dead replica {replica_id!r}")
         replica = cluster.replicas.pop(replica_id)
         dead = DeadReplica(
-            replica=replica, killed_at_index=self.injector.packet_index
+            replica=replica,
+            killed_at_index=self.injector.packet_index,
+            killed_ns=self._now_ns(),
+        )
+        self.tracer.instant(
+            "detect", f"ft:r{replica_id}", dead.killed_ns, reason=reason
         )
         # Crash-during-migration guard: absorb the freeze buffers of any
         # flow homed here that is frozen mid-migration.  The migration is
@@ -320,6 +368,19 @@ class FaultTolerance:
         started = time.perf_counter()
         report = RecoveryReport(replica=replica_id)
         self._in_recovery = True
+        tracer = self.tracer
+        track = f"ft:r{replica_id}"
+        stage_start = self._now_ns()
+        # The buffer stage spans the dead era itself: detect → recovery
+        # start, everything that arrived meanwhile held in order.
+        tracer.span(
+            "buffer",
+            track,
+            dead.killed_ns,
+            stage_start - dead.killed_ns,
+            packets=len(dead.buffered),
+            frozen_absorbed=dead.frozen_absorbed,
+        )
         try:
             src_nfs = list(dead.replica.runtime.nfs)
 
@@ -337,6 +398,24 @@ class FaultTolerance:
                 del cluster._flow_homes[key]
             orphan_set = set(orphan_keys)
 
+            # Flows the dead replica's classifier no longer tracked had
+            # finished (FIN teardown) before the kill: their state was
+            # already gone and their shared-state effects (NAT port
+            # release) already committed.  Restoring or replaying one
+            # would resurrect a completed flow — and its NAT setup,
+            # whose idempotency record died with the flow, would draw a
+            # *different* port from the freed list, permuting the
+            # allocation the reference run made.  ``None`` (no
+            # classifier on the dead runtime) disables the guard.
+            classifier = getattr(dead.replica.runtime, "classifier", None)
+            live_keys = None
+            if classifier is not None:
+                live_keys = {
+                    entry.five_tuple.canonical()
+                    for entry in classifier._flows.values()
+                    if not entry.closed
+                }
+
             # 3. Restore checkpoints onto the replicas the sharder now
             # names; pin every wire direction to the same target, exactly
             # as live egress tracking would have.
@@ -345,6 +424,14 @@ class FaultTolerance:
             for key in orphan_keys:
                 checkpoint = self.checkpoints.snapshot_for(key)
                 if checkpoint is None or checkpoint.flow in restored:
+                    continue
+                if live_keys is not None and not live_keys.intersection(
+                    direction.canonical() for direction in checkpoint.directions
+                ):
+                    # Closed since its last snapshot: a stale checkpoint
+                    # must not resurrect it (same rule the cadence
+                    # applies when a capture comes back empty).
+                    self.checkpoints.drop_flow(checkpoint.flow)
                     continue
                 target = self._alive_home(checkpoint.flow)
                 rebound = restore_flow(
@@ -368,6 +455,18 @@ class FaultTolerance:
                     items=checkpoint.item_count(),
                 )
 
+            now = self._now_ns()
+            tracer.span(
+                "restore",
+                track,
+                stage_start,
+                now - stage_start,
+                flows=report.flows_restored,
+                handlers=report.handlers_rebound,
+            )
+            self._m_restore_ns.inc(now - stage_start)
+            stage_start = now
+
             # 4. Replay the input log through the normal pipeline —
             # snapshot-covered flows from their checkpoint position,
             # snapshot-less flows (born since the last checkpoint) from
@@ -377,6 +476,8 @@ class FaultTolerance:
             for entry in log.entries():
                 if entry.key not in orphan_set:
                     continue  # migrated away before the kill: lives elsewhere
+                if live_keys is not None and entry.key not in live_keys:
+                    continue  # flow finished before the kill: nothing to rebuild
                 checkpoint = self.checkpoints.snapshot_for(entry.key)
                 if checkpoint is not None and entry.seq <= checkpoint.log_seq:
                     continue  # effect already inside the snapshot
@@ -398,6 +499,18 @@ class FaultTolerance:
                 rebuilt_flows=report.flows_rebuilt,
             )
 
+            now = self._now_ns()
+            tracer.span(
+                "replay",
+                track,
+                stage_start,
+                now - stage_start,
+                replayed=report.packets_replayed,
+                rebuilt_flows=report.flows_rebuilt,
+            )
+            self._m_replay_ns.inc(now - stage_start)
+            stage_start = now
+
             # 5. Deliver the buffered in-flight packets in arrival order.
             # These are live deliveries: their outcomes count.  A packet
             # whose flow is homed on *another* dead replica (concurrent
@@ -408,11 +521,30 @@ class FaultTolerance:
                     report.packets_delivered += 1
                     report.outcomes.append(outcome)
 
+            now = self._now_ns()
+            tracer.span(
+                "drain",
+                track,
+                stage_start,
+                now - stage_start,
+                delivered=report.packets_delivered,
+            )
+            self._m_drain_ns.inc(now - stage_start)
+            stage_start = now
+
             # 6. Fresh checkpoints on every alive replica: a second
             # failure replays from now, not from the dead replica's era
             # (the replays and deliveries above bypassed the input logs).
             for rid in sorted(cluster.replicas):
                 self.checkpoint_replica(rid, cause="post_recovery")
+            now = self._now_ns()
+            tracer.span(
+                "re-checkpoint",
+                track,
+                stage_start,
+                now - stage_start,
+                replicas=len(cluster.replicas),
+            )
         finally:
             self._in_recovery = False
         report.duration_s = time.perf_counter() - started

@@ -34,6 +34,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.net.flow import FiveTuple
 from repro.obs.audit import AuditLog, NULL_AUDIT
+from repro.obs.registry import MetricsRegistry, NULL_REGISTRY
 
 
 class TxnConflict(RuntimeError):
@@ -43,7 +44,12 @@ class TxnConflict(RuntimeError):
 class TransactionalStore:
     """Versioned key-value store with optimistic per-key commit/abort."""
 
-    def __init__(self, audit: AuditLog = NULL_AUDIT, audit_commits: bool = False):
+    def __init__(
+        self,
+        audit: AuditLog = NULL_AUDIT,
+        audit_commits: bool = False,
+        metrics: MetricsRegistry = NULL_REGISTRY,
+    ):
         self.audit = audit
         #: emit ``txn_commit`` for every commit (aborts always audit);
         #: off by default so per-packet aggregate updates don't flood
@@ -55,6 +61,18 @@ class TransactionalStore:
         self.commits = 0
         self.aborts = 0
         self.replays_deduped = 0
+        # Registry mirrors of the plain counters, so windowed telemetry
+        # sees txn activity as per-window deltas (health's retry-rate
+        # signal); off by default like every other metrics surface.
+        self._m_commits = metrics.counter(
+            "txn_commits_total", "transactions committed"
+        )
+        self._m_aborts = metrics.counter(
+            "txn_aborts_total", "optimistic-conflict aborts"
+        )
+        self._m_deduped = metrics.counter(
+            "txn_replays_deduped_total", "replayed transactions skipped as applied"
+        )
 
     # -- direct reads (no isolation needed) ---------------------------------
 
@@ -99,6 +117,7 @@ class TransactionalStore:
         """
         if txn_id is not None and txn_id in self._applied:
             self.replays_deduped += 1
+            self._m_deduped.inc()
             return self._applied[txn_id]
         for __ in range(max_retries):
             txn = self.transaction(txn_id=txn_id, audit_commit=audit_commit)
@@ -116,6 +135,7 @@ class TransactionalStore:
         for key, version in txn.reads.items():
             if self._versions.get(key, 0) != version:
                 self.aborts += 1
+                self._m_aborts.inc()
                 self.audit.emit(
                     "txn_abort",
                     txn=_render_id(txn.txn_id),
@@ -134,6 +154,7 @@ class TransactionalStore:
                 self._values[key] = value
             self._versions[key] = self._versions.get(key, 0) + 1
         self.commits += 1
+        self._m_commits.inc()
         if txn.txn_id is not None:
             self._applied[txn.txn_id] = result
         if txn.audit_commit:

@@ -15,6 +15,16 @@ benchmark arithmetic:
   (process lifecycle, store put/get/blocked).
 - :mod:`repro.obs.timeline` — builds unloaded-mode span timelines from
   :class:`~repro.core.framework.ProcessReport` objects.
+- :mod:`repro.obs.timeseries` — gen-3 windowed telemetry: a bounded
+  ring of per-window latency percentiles, drop/buffered counts and
+  registry metric deltas on a sim-time or packet-count clock.
+- :mod:`repro.obs.health` — per-replica health scoring (degraded /
+  critical before dead) over the telemetry windows, consumed by the
+  autoscaler and the FT coordinator.
+- :mod:`repro.obs.slo` — declarative latency/loss objectives with
+  error-budget accounting and burn-rate alerts.
+- :mod:`repro.obs.benchdiff` — BENCH_*.json regression differ behind
+  ``repro obs diff`` and the CI bench-diff gate.
 
 Everything defaults to *off* via shared null objects
 (:data:`NULL_REGISTRY`, :data:`NULL_TRACER`); with observability
@@ -24,6 +34,18 @@ simulated cycle outputs are bit-identical to an uninstrumented build.
 
 from repro.obs.attribution import STAGE_ORDER, CycleAttribution, stage_of
 from repro.obs.audit import AuditLog, NULL_AUDIT, load_audit_jsonl, summarize_events
+from repro.obs.benchdiff import (
+    DiffEntry,
+    collect_benches,
+    diff_benches,
+    diff_metrics,
+    render_diff,
+)
+from repro.obs.health import (
+    HealthModel,
+    HealthThresholds,
+    ReplicaHealth,
+)
 from repro.obs.hooks import (
     CountingObserver,
     EngineObserver,
@@ -40,8 +62,16 @@ from repro.obs.registry import (
     NULL_REGISTRY,
 )
 from repro.obs.report import render_report
+from repro.obs.slo import SLObjective, SLOEngine
 from repro.obs.span import FlowSpanRecorder, load_span_jsonl
 from repro.obs.timeline import trace_unloaded
+from repro.obs.timeseries import (
+    TimeSeries,
+    Window,
+    load_timeseries_jsonl,
+    percentile_from_deltas,
+    render_windows,
+)
 from repro.obs.trace import NULL_TRACER, PacketTracer, Span
 
 __all__ = [
@@ -50,24 +80,39 @@ __all__ = [
     "CountingObserver",
     "CycleAttribution",
     "DEFAULT_BUCKETS",
+    "DiffEntry",
     "EngineObserver",
     "FanoutObserver",
     "FlowSpanRecorder",
     "Gauge",
+    "HealthModel",
+    "HealthThresholds",
     "Histogram",
     "MetricsRegistry",
     "NULL_AUDIT",
     "NULL_REGISTRY",
     "NULL_TRACER",
     "PacketTracer",
+    "ReplicaHealth",
+    "SLOEngine",
+    "SLObjective",
     "STAGE_ORDER",
     "Span",
+    "TimeSeries",
     "TracingObserver",
+    "Window",
+    "collect_benches",
+    "diff_benches",
+    "diff_metrics",
     "load_audit_jsonl",
     "load_span_jsonl",
+    "load_timeseries_jsonl",
     "parse_prometheus",
+    "percentile_from_deltas",
+    "render_diff",
     "render_prometheus",
     "render_report",
+    "render_windows",
     "stage_of",
     "summarize_events",
     "trace_unloaded",

@@ -25,7 +25,14 @@ causal flow identifiers:
   per failure from injection to recovered;
 - transactional shared state — ``txn_abort`` (always) and
   ``txn_commit`` (opt-in per store/commit: every NAT port draw would
-  be noise), from :class:`repro.ft.txstate.TransactionalStore`.
+  be noise), from :class:`repro.ft.txstate.TransactionalStore`;
+- cluster health — ``health_degraded`` / ``health_critical`` /
+  ``health_recovered``, one event per replica *state transition* from
+  :class:`repro.obs.health.HealthModel` (with the window index, score
+  and triggering reasons);
+- SLOs — ``slo_burn_alert`` from :class:`repro.obs.slo.SLOEngine`, one
+  event per window whose burn rate crossed the alerting threshold
+  (objective name, burn rate, bad/total events).
 
 Events are dicts with a monotonically increasing ``seq`` (deterministic
 — tests assert on it), a wall-clock ``ts`` (injectable clock), the

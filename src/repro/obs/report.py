@@ -16,6 +16,16 @@ one-page view:
   :mod:`repro.obs.attribution`);
 - **audit summary** — per-kind decision counts plus the most recent
   event of each kind;
+- **FT recovery** — one row per ``ft_failover_complete`` trail
+  (restored/rebuilt/replayed/delivered and duration), with the
+  kill/buffer/restore/replay event counts beside it, so an FT run is
+  readable from the report alone;
+- **transactions** — commit/abort/replay-dedup counts from the
+  ``txn_*`` audit kinds;
+- **health & SLO** — replica state transitions and burn-rate alerts
+  (gen-3 windows), when a run emitted them;
+- **telemetry windows** — the per-window table when a
+  ``--timeseries-out`` artifact is supplied;
 - **metrics summary** — the snapshot itself, family-grouped.
 
 Everything here is pure functions over loaded dicts so the unit suite
@@ -205,6 +215,114 @@ def render_audit_summary(events: Sequence[Dict[str, Any]], last_n: int = 3) -> s
     return table + "\n".join(tail_lines)
 
 
+#: the per-failure FT audit trail, in choreography order
+FT_TRAIL_KINDS = (
+    "ft_checkpoint",
+    "ft_kill",
+    "ft_buffer",
+    "ft_freeze_absorbed",
+    "ft_restore",
+    "ft_replay",
+    "ft_failover_complete",
+)
+TXN_KINDS = ("txn_commit", "txn_abort")
+HEALTH_KINDS = ("health_degraded", "health_critical", "health_recovered")
+SLO_KINDS = ("slo_burn_alert",)
+
+
+def render_ft_recovery(events: Sequence[Dict[str, Any]]) -> str:
+    """Recovery trails and FT event counts from ``ft_*`` audit kinds.
+
+    Implemented here (not imported from :mod:`repro.ft.report`, which
+    itself imports this module) so the obs dashboard owns its sections.
+    """
+    ft_events = [e for e in events if str(e.get("kind", "")).startswith("ft_")]
+    if not ft_events:
+        return "fault tolerance\n(no ft_* events recorded)"
+    counts: Dict[str, int] = {}
+    for event in ft_events:
+        counts[event["kind"]] = counts.get(event["kind"], 0) + 1
+    count_rows = [[kind, counts[kind]] for kind in FT_TRAIL_KINDS if kind in counts]
+    for kind in sorted(counts):
+        if kind not in FT_TRAIL_KINDS:
+            count_rows.append([kind, counts[kind]])
+    blocks = [
+        format_table(
+            ["ft event", "count"],
+            count_rows,
+            title=f"fault tolerance ({len(ft_events)} events)",
+        )
+    ]
+    completions = [e for e in ft_events if e.get("kind") == "ft_failover_complete"]
+    if completions:
+        rows = []
+        for event in completions:
+            rows.append(
+                [
+                    event.get("replica", "?"),
+                    event.get("flows_restored", 0),
+                    event.get("flows_rebuilt", 0),
+                    event.get("replayed", 0),
+                    event.get("delivered", 0),
+                    f"{event.get('duration_ms', 0.0):.2f}",
+                ]
+            )
+        blocks.append(
+            format_table(
+                ["replica", "restored", "rebuilt", "replayed", "delivered", "ms"],
+                rows,
+                title=f"recoveries ({len(completions)})",
+            )
+        )
+    return "\n\n".join(blocks)
+
+
+def render_txn_summary(events: Sequence[Dict[str, Any]]) -> str:
+    """Transactional shared-state activity from ``txn_*`` audit kinds."""
+    txn_events = [e for e in events if str(e.get("kind", "")).startswith("txn_")]
+    if not txn_events:
+        return "transactions\n(no txn_* events recorded)"
+    commits = sum(1 for e in txn_events if e.get("kind") == "txn_commit")
+    aborts = [e for e in txn_events if e.get("kind") == "txn_abort"]
+    by_key: Dict[str, int] = {}
+    for event in aborts:
+        key = str(event.get("key", "?"))
+        by_key[key] = by_key.get(key, 0) + 1
+    lines = [
+        f"transactions ({len(txn_events)} events)",
+        f"  commits audited : {commits}",
+        f"  aborts          : {len(aborts)}",
+    ]
+    if by_key:
+        hot = sorted(by_key.items(), key=lambda item: (-item[1], item[0]))[:5]
+        lines.append("  hottest abort keys:")
+        for key, count in hot:
+            lines.append(f"    {count:>4}x {key}")
+    return "\n".join(lines)
+
+
+def render_health_slo(events: Sequence[Dict[str, Any]]) -> str:
+    """Gen-3 health transitions and SLO burn alerts from the audit log."""
+    health = [e for e in events if e.get("kind") in HEALTH_KINDS]
+    alerts = [e for e in events if e.get("kind") in SLO_KINDS]
+    if not health and not alerts:
+        return "health & SLO\n(no health_*/slo_* events recorded)"
+    lines = [f"health & SLO ({len(health)} transitions, {len(alerts)} alerts)"]
+    for event in health:
+        lines.append(
+            f"  #{event.get('seq', '?')} {event.get('kind')} replica={event.get('replica')}"
+            f" window={event.get('window')} score={event.get('score')}"
+            f" reasons={event.get('reasons', '')}"
+        )
+    for event in alerts:
+        lines.append(
+            f"  #{event.get('seq', '?')} slo_burn_alert objective={event.get('objective')}"
+            f" window={event.get('window')} burn={event.get('burn')}"
+            f" bad={event.get('bad')}/{event.get('events')}"
+        )
+    return "\n".join(lines)
+
+
 def render_metrics_summary(snapshot: Dict[str, float]) -> str:
     from repro.stats.metrics_view import render_metrics
 
@@ -218,6 +336,7 @@ def render_report(
     slo_us: Optional[float] = None,
     percentile: float = 0.99,
     top: int = 5,
+    windows: Optional[Sequence[Dict[str, Any]]] = None,
 ) -> str:
     """The full dashboard; sections appear for the artifacts provided."""
     blocks: List[str] = ["repro obs report\n================"]
@@ -227,6 +346,17 @@ def render_report(
         blocks.append(render_attribution_from_spans(spans))
     if audit is not None:
         blocks.append(render_audit_summary(audit))
+        kinds = {event.get("kind") for event in audit}
+        if any(str(kind).startswith("ft_") for kind in kinds):
+            blocks.append(render_ft_recovery(audit))
+        if any(str(kind).startswith("txn_") for kind in kinds):
+            blocks.append(render_txn_summary(audit))
+        if kinds & (set(HEALTH_KINDS) | set(SLO_KINDS)):
+            blocks.append(render_health_slo(audit))
+    if windows is not None:
+        from repro.obs.timeseries import render_windows
+
+        blocks.append(render_windows(windows, title=f"telemetry windows ({len(windows)})"))
     if metrics is not None:
         blocks.append(render_metrics_summary(metrics))
     if len(blocks) == 1:

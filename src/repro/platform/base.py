@@ -260,6 +260,7 @@ class Platform:
         tracer: PacketTracer = NULL_TRACER,
         label: Optional[str] = None,
         spans: Optional[FlowSpanRecorder] = None,
+        timeseries=None,
     ):
         self.runtime = runtime
         self.config = config or PlatformConfig()
@@ -279,6 +280,15 @@ class Platform:
         #: way to see inside fast runs.  ``None`` = off (no per-packet
         #: cost beyond the lean loop's one dict probe when on).
         self.spans = spans
+        #: gen-3 windowed telemetry (repro.obs.timeseries.TimeSeries) or
+        #: None.  Loaded runs hand it the finished LoadResult *after*
+        #: the run — windowing is post-run arithmetic, so attaching one
+        #: costs nothing per packet and keeps the compiled/batch fast
+        #: lanes (and the analytic replay) fully eligible.
+        self.timeseries = timeseries
+        #: runtime.fast_packets at the last time-series ingest — the
+        #: delta is the run's fast-path hit count for the windows
+        self._ts_fast_prev = 0
         #: packet index within the current loaded run, or None outside
         #: one — run_load sets it so sampled spans can be matched to the
         #: replay's simulated arrival/finish times
@@ -481,24 +491,44 @@ class Platform:
             self._publish_load_metrics(run.rings)
         if spans is not None:
             spans.annotate_loaded(run.arrival_at, run.completions)
-        return run.to_load_result(offered=len(plans), dropped=dropped)
+        result = run.to_load_result(offered=len(plans), dropped=dropped)
+        if self.timeseries is not None:
+            self._ingest_timeseries(result, inter_arrival_ns)
+        return result
+
+    def _ingest_timeseries(self, result: LoadResult, inter_arrival_ns: float) -> None:
+        """Window a finished run into the attached TimeSeries (post-run,
+        zero per-packet cost; see ``TimeSeries.ingest_result``)."""
+        fast_now = getattr(self.runtime, "fast_packets", 0)
+        fast_delta = fast_now - self._ts_fast_prev
+        self._ts_fast_prev = fast_now
+        self.timeseries.ingest_result(
+            result,
+            inter_arrival_ns=inter_arrival_ns,
+            replica=self.label,
+            fast_hits=max(0, fast_delta),
+        )
 
     def _batch_lane_eligible(self, use_timestamps: bool) -> bool:
         """May a PacketBatch take the whole-batch lane on this platform?
 
-        The lane serves steady spans without per-packet reports, so every
-        per-packet instrumentation surface must be off: metrics, tracer,
-        span sampling, timestamped arrival.  It also requires the
-        compiled fast path (the lane *is* a dispatcher over compiled
-        closures) on a SpeedyBox runtime.  Ineligible batches stream
-        through ``packet_view()`` — correct, just per-packet.
+        The lane serves steady spans without per-packet reports, so the
+        per-packet instrumentation surfaces must be off: metrics,
+        tracer, timestamped arrival.  A :class:`FlowSpanRecorder` is
+        allowed — the lane routes its sampled flows through the scalar
+        oracle so they keep full span coverage while unsampled flows
+        stay on the array path (see ``repro.core.batchlane``).  A
+        ``timeseries`` never disqualifies: it ingests the finished
+        result after the run.  The lane also requires the compiled fast
+        path (the lane *is* a dispatcher over compiled closures) on a
+        SpeedyBox runtime.  Ineligible batches stream through
+        ``packet_view()`` — correct, just per-packet.
         """
         config = self.config
         return (
             config.batch_lane
             and config.compiled_flows
             and not use_timestamps
-            and self.spans is None
             and not self.metrics.enabled
             and not self.tracer.enabled
             and isinstance(self.runtime, SpeedyBox)
@@ -511,6 +541,9 @@ class Platform:
         from repro.sim.analytic import analytic_replay_vector
 
         runtime = self.runtime
+        spans = self.spans
+        if spans is not None:
+            spans.begin_run()
         previous_memo = runtime.memoize_setup
         runtime.memoize_setup = True
         lane = BatchLane(self, batch)
@@ -536,13 +569,16 @@ class Platform:
             vectored = analytic_replay_vector(table, plan_ids, self.config.ring_capacity)
             if vectored is not None:
                 latencies, makespan = vectored
-                return LoadResult(
+                result = LoadResult(
                     offered=offered,
                     delivered=offered - dropped,
                     dropped=dropped,
                     makespan_ns=makespan,
                     latencies_ns=latencies,
                 )
+                if self.timeseries is not None:
+                    self._ingest_timeseries(result, inter_arrival_ns)
+                return result
         # General case: expand the plan table per packet and reuse the
         # scalar replay machinery (closed form when valid, DES otherwise).
         plans = [table[pid] for pid in plan_ids]
@@ -560,7 +596,12 @@ class Platform:
             run = self._spawn_pipeline(engine, plans, gaps)
             engine.run()
             self._publish_load_metrics(run.rings)
-        return run.to_load_result(offered=offered, dropped=dropped)
+        if spans is not None:
+            spans.annotate_loaded(run.arrival_at, run.completions)
+        result = run.to_load_result(offered=offered, dropped=dropped)
+        if self.timeseries is not None:
+            self._ingest_timeseries(result, inter_arrival_ns)
+        return result
 
     def _analytic_valid(self, plans: Sequence[StagePlan]) -> bool:
         """May this run use the closed-form replay instead of the DES?
@@ -852,4 +893,5 @@ class Platform:
         self.packets = 0
         self.last_lane_stats = None
         self._trace_clock_ns = 0.0
+        self._ts_fast_prev = 0
         self.runtime.reset()

@@ -70,11 +70,17 @@ class Autoscaler:
         cluster: ScaleCluster,
         config: Optional[AutoscalerConfig] = None,
         signals: Optional[ClusterSignals] = None,
+        health=None,
     ):
         self.cluster = cluster
         self.config = config or AutoscalerConfig()
         ring_capacity = (cluster.config or PlatformConfig()).ring_capacity
         self.signals = signals or ClusterSignals(cluster.metrics, ring_capacity)
+        #: optional :class:`repro.obs.health.HealthModel` — a critical
+        #: replica adds scale-out pressure; any unhealthy replica vetoes
+        #: scale-in (shedding capacity while a survivor is struggling
+        #: would dump its flows onto the struggling one)
+        self.health = health
         self.decisions: List[ScaleDecision] = []
         self._windows_since_action = self.config.cooldown_windows
         self.placement_events: List[str] = []
@@ -104,6 +110,20 @@ class Autoscaler:
             pressures.append(f"core utilisation {sample.core_utilisation:.0%}")
         if cfg.high_p99_ns is not None and sample.p99_latency_ns >= cfg.high_p99_ns:
             pressures.append(f"p99 {sample.p99_latency_ns / 1000.0:.1f}us over SLO")
+        unhealthy: list = []
+        if self.health is not None:
+            from repro.obs.health import CRITICAL
+
+            unhealthy = self.health.unhealthy_replicas()
+            critical = [
+                replica
+                for replica in unhealthy
+                if self.health.state_of(replica) == CRITICAL
+            ]
+            if critical:
+                pressures.append(
+                    "critical replicas: " + ", ".join(str(r) for r in critical)
+                )
 
         if self._windows_since_action < cfg.cooldown_windows:
             return ScaleDecision(0, "cooldown", sample, replicas)
@@ -116,6 +136,14 @@ class Autoscaler:
             and sample.core_utilisation <= cfg.low_core_utilisation
         )
         if idle and replicas > cfg.min_replicas:
+            if unhealthy:
+                return ScaleDecision(
+                    0,
+                    "scale-in vetoed: unhealthy replicas "
+                    + ", ".join(str(r) for r in unhealthy),
+                    sample,
+                    replicas,
+                )
             return ScaleDecision(-1, "all signals below low watermarks", sample, replicas - 1)
         return ScaleDecision(0, "steady", sample, replicas)
 
@@ -152,8 +180,7 @@ class Autoscaler:
             self._windows_since_action += 1
         decision.replicas_after = self.cluster.replica_count
         self.decisions.append(decision)
-        self.cluster.audit.emit(
-            "autoscale_decision",
+        audit_fields = dict(
             action=decision.action,
             reason=decision.reason,
             replicas_before=replicas_before,
@@ -163,4 +190,7 @@ class Autoscaler:
             p99_latency_ns=sample.p99_latency_ns,
             throughput_mpps=sample.throughput_mpps,
         )
+        if self.health is not None:
+            audit_fields["cluster_health"] = self.health.worst_state()
+        self.cluster.audit.emit("autoscale_decision", **audit_fields)
         return decision

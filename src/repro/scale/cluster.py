@@ -99,6 +99,7 @@ class ScaleCluster:
         tracer: PacketTracer = NULL_TRACER,
         audit: AuditLog = NULL_AUDIT,
         spans: Optional[FlowSpanRecorder] = None,
+        timeseries=None,
     ):
         if platform not in PLATFORM_CLASSES:
             raise ValueError(f"unknown platform {platform!r} (bess|onvm)")
@@ -116,6 +117,14 @@ class ScaleCluster:
         #: shared by every replica's platform — flows are sampled across
         #: the whole cluster, not per replica
         self.spans = spans
+        #: optional :class:`repro.obs.timeseries.TimeSeries` pumped per
+        #: dispatch inside :meth:`run_load` — unlike the platform-level
+        #: post-run ingestion, windows close *mid-run* here, which is
+        #: what lets the health model flag a replica as degraded while
+        #: the window that doomed it is still in flight
+        self.timeseries = timeseries
+        #: per-replica fast-path counter watermarks for the pump
+        self._ts_fast_prev: Dict[int, int] = {}
         self.replicas: Dict[int, ChainReplica] = {}
         self._next_id = 0
         for __ in range(replicas):
@@ -262,6 +271,7 @@ class ScaleCluster:
         gaps: Dict[int, List[float]] = {rid: [] for rid in participants}
         dropped: Dict[int, int] = {rid: 0 for rid in participants}
         last_arrival: Dict[int, float] = {}
+        timeseries = self.timeseries
         for index, packet in enumerate(packets):
             arrival = index * inter_arrival_ns
             if self.ft is not None:
@@ -272,6 +282,8 @@ class ScaleCluster:
                 # Buffered against the dead replica: delivered (and its
                 # outcome counted) by recovery, outside this timing run.
                 self.ft.buffer_packet(rid, packet)
+                if timeseries is not None:
+                    timeseries.record(arrival, None, replica=rid, buffered=True)
                 continue
             self._flow_homes[key] = rid
             if self.ft is not None:
@@ -279,11 +291,34 @@ class ScaleCluster:
             platform = self.replicas[rid].platform
             outcome = platform.process(packet)
             self._note_egress(packet, key, rid)
-            plans[rid].append(platform._stage_plan(outcome.report))
+            plan = platform._stage_plan(outcome.report)
+            plans[rid].append(plan)
             gaps[rid].append(arrival - last_arrival.get(rid, 0.0))
             last_arrival[rid] = arrival
             if outcome.dropped:
                 dropped[rid] += 1
+            if timeseries is not None:
+                # Dispatch-time latency signal: the packet's requested
+                # service time (stage-plan sum).  The queued end-to-end
+                # latency only exists after the temporal replay, but the
+                # window must close *now* for degraded-before-dead
+                # detection — service time is the deterministic
+                # per-packet component of it.
+                runtime = platform.runtime
+                fast_now = getattr(runtime, "fast_packets", 0)
+                fast_hit = fast_now > self._ts_fast_prev.get(rid, 0)
+                self._ts_fast_prev[rid] = fast_now
+                timeseries.record(
+                    arrival,
+                    sum(service for __, service in plan),
+                    replica=rid,
+                    dropped=outcome.dropped,
+                    fast_hit=fast_hit,
+                )
+        if timeseries is not None:
+            # Close the trailing window at run end: arrival clocks restart
+            # at zero each window run, so windows never span run_load calls.
+            timeseries.finish()
 
         # Without a shared core pool the replicas' pipelines are fully
         # independent — each replays exactly as it would on a private
@@ -585,6 +620,7 @@ class ScaleCluster:
         self._frozen.clear()
         self._freeze_groups.clear()
         self._flow_homes.clear()
+        self._ts_fast_prev.clear()
         self.packets_buffered = 0
 
     def __repr__(self) -> str:

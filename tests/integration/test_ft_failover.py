@@ -109,6 +109,45 @@ class TestFailoverOracle:
         assert report.flows_restored == 0
         assert report.flows_rebuilt > 0
 
+    def test_completed_flows_are_not_resurrected_by_replay(self):
+        """A flow that FINished before the kill must stay finished.
+
+        Its teardown released the shared NAT port (and the per-flow
+        idempotency record with it), so rebuilding it from the log
+        would re-draw a *different* port from the freed list and leave
+        resurrected state under a permuted post-NAT key — the reference
+        run has no such flow. Recovery must skip it entirely: killing
+        the replica on the stream's last packet, with an interval too
+        large for any checkpoint, forces the pure-replay path that used
+        to hit this.
+        """
+        __, pool, aggregate = shared_state()
+        specs = [
+            FlowSpec.tcp(
+                f"10.7.{i}.9",
+                f"99.4.0.{i + 1}",
+                7000 + i,
+                443,
+                packets=[2, 3, 8, 8][i],
+                handshake=False,
+                # the two early-FIN flows release their pool ports
+                fin=(i in (1, 2)),
+            )
+            for i in range(4)
+        ]
+        packets = TrafficGenerator(specs, interleave="round_robin", seed=0).packets()
+        report = verify_equivalence_failover(
+            reference_chain,
+            packets,
+            kill_at=len(packets) - 1,
+            cluster_chain_factory=cluster_chain_factory(pool, aggregate),
+            replicas=2,
+            checkpoint_interval=10 * len(packets),
+        )
+        assert report.equivalent, report.summary()
+        # only flows still live at the kill were rebuilt
+        assert report.flows_rebuilt <= 2
+
     def test_recovery_at_end_of_stream(self):
         """recover_after=None leaves the replica dead until the caller
         recovers — buffered traffic is delivered then, still loss-free."""

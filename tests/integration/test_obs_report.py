@@ -146,3 +146,84 @@ class TestReportCli:
     def test_obs_report_without_artifacts_is_an_error(self, capsys):
         assert main(["obs", "report"]) == 2
         assert "at least one" in capsys.readouterr().err
+
+
+class TestGen3Sections:
+    """ft_*/txn_*/health_*/slo_* audit kinds and telemetry windows all
+    surface in the dashboard (the report used to drop ft_*/txn_*)."""
+
+    def run_scale(self, tmp_path, capsys):
+        audit = tmp_path / "audit.jsonl"
+        windows = tmp_path / "windows.jsonl"
+        status = main([
+            "scale", "--replicas", "3", "--flows", "24",
+            "--kill-at", "100", "--checkpoint-every", "16",
+            "--audit-out", str(audit),
+            "--timeseries-out", str(windows), "--window-packets", "32",
+            "--slo", "p99<250us", "--slo", "loss<0.1%",
+        ])
+        assert status == 0
+        capsys.readouterr()
+        return audit, windows
+
+    def test_report_includes_ft_txn_health_and_windows(self, tmp_path, capsys):
+        audit, windows = self.run_scale(tmp_path, capsys)
+        status = main([
+            "obs", "report", "--audit", str(audit), "--windows", str(windows),
+        ])
+        assert status == 0
+        out = capsys.readouterr().out
+        assert "fault tolerance" in out
+        assert "ft_failover_complete" in out
+        assert "recoveries (" in out
+        assert "health & SLO" in out
+        assert "slo_burn_alert" in out
+        assert "telemetry windows" in out
+
+    def test_obs_watch_tables_windows_and_health(self, tmp_path, capsys):
+        audit, windows = self.run_scale(tmp_path, capsys)
+        assert main(["obs", "watch", "--windows", str(windows),
+                     "--audit", str(audit)]) == 0
+        out = capsys.readouterr().out
+        assert "telemetry windows" in out
+        assert "p99_us" in out
+        assert "health & SLO" in out
+
+    def test_obs_watch_needs_windows(self, capsys):
+        assert main(["obs", "watch"]) == 2
+        assert "--windows" in capsys.readouterr().err
+
+    def test_obs_diff_gates_regressions(self, tmp_path, capsys):
+        import json
+
+        base = tmp_path / "base"
+        cur = tmp_path / "cur"
+        base.mkdir()
+        cur.mkdir()
+        payload = {"experiment": "x", "metrics": {"rate_mpps": 2.0}}
+        (base / "BENCH_x.json").write_text(json.dumps(payload))
+        (cur / "BENCH_x.json").write_text(json.dumps(payload))
+        assert main(["obs", "diff", "--baseline", str(base),
+                     "--current", str(cur)]) == 0
+        capsys.readouterr()
+        payload["metrics"]["rate_mpps"] = 1.0
+        (cur / "BENCH_x.json").write_text(json.dumps(payload))
+        assert main(["obs", "diff", "--baseline", str(base),
+                     "--current", str(cur)]) == 1
+        assert "regression" in capsys.readouterr().out
+        assert main(["obs", "diff"]) == 2
+
+    def test_txn_section_renders_from_audit_kinds(self):
+        from repro.obs.report import render_txn_summary
+
+        events = [
+            {"kind": "txn_commit", "txn": "a", "reads": 1, "writes": 1},
+            {"kind": "txn_abort", "txn": "b", "key": "('natpool', 'next')",
+             "expected": 1, "found": 2},
+            {"kind": "txn_abort", "txn": "c", "key": "('natpool', 'next')",
+             "expected": 2, "found": 3},
+        ]
+        text = render_txn_summary(events)
+        assert "commits audited : 1" in text
+        assert "aborts          : 2" in text
+        assert "natpool" in text

@@ -11,6 +11,7 @@ from repro.core.actions import Modify
 from repro.core.framework import SpeedyBox
 from repro.nf import SyntheticNF
 from repro.obs.audit import AuditLog
+from repro.obs.span import FlowSpanRecorder
 from repro.obs.registry import MetricsRegistry
 from repro.platform import BessPlatform, PlatformConfig
 from repro.traffic.columnar import uniform_batch
@@ -218,3 +219,90 @@ def test_lane_and_oracle_emit_identical_audit_streams():
         ]
 
     assert run(True) == run(False)
+
+
+# -- flow-span sampling on the lane (sampled flows keep full coverage) --
+
+
+def run_with_spans(batch, recorder, *, batch_lane=True, runtime=None):
+    runtime = runtime or make_runtime()
+    platform = BessPlatform(
+        runtime, config=PlatformConfig(batch_lane=batch_lane), spans=recorder
+    )
+    return platform.run_load(batch), platform
+
+
+def test_span_recorder_does_not_disqualify_the_lane():
+    runtime = make_runtime()
+    platform = BessPlatform(
+        runtime,
+        config=PlatformConfig(batch_lane=True),
+        spans=FlowSpanRecorder(every=4),
+    )
+    assert platform._batch_lane_eligible(use_timestamps=False)
+
+
+def test_lane_with_spans_matches_oracle_and_coverage():
+    """Same results AND the same span population as the per-packet path."""
+    batch = uniform_batch(40, 5, interleave="round_robin", block=8)
+    lane_rec = FlowSpanRecorder(every=4)
+    oracle_rec = FlowSpanRecorder(every=4)
+    lane_result, __ = run_with_spans(batch, lane_rec)
+    oracle_result, __ = run_with_spans(batch, oracle_rec, batch_lane=False)
+    assert results_equal(lane_result, oracle_result)
+    assert lane_rec.summary() == oracle_rec.summary()
+    lane_fids = {root["args"]["fid"] for root in lane_rec.roots()}
+    oracle_fids = {root["args"]["fid"] for root in oracle_rec.roots()}
+    assert lane_fids == oracle_fids
+
+
+def test_sampled_flows_stay_off_the_array_path():
+    """every=1 samples all flows: the lane admits nothing, records all."""
+    batch = uniform_batch(8, 4, interleave="round_robin", block=8)
+    recorder = FlowSpanRecorder(every=1, max_spans_per_flow=None)
+    result, platform = run_with_spans(batch, recorder)
+    assert result.delivered == len(batch)
+    stats = platform.last_lane_stats
+    assert stats["admitted"] == 0
+    assert stats["span_packets"] == 0
+    assert recorder.packets_sampled == len(batch)
+
+
+def test_unsampled_flows_ride_the_array_path():
+    batch = uniform_batch(40, 5, interleave="round_robin", block=8)
+    recorder = FlowSpanRecorder(every=40)  # exactly one flow sampled
+    result, platform = run_with_spans(batch, recorder)
+    assert result.delivered == len(batch)
+    assert recorder.flows_sampled == 1
+    stats = platform.last_lane_stats
+    assert stats["admitted"] == 39
+    # the one sampled flow's packets never hit the array fast path
+    assert stats["span_packets"] == 39 * 4  # steady packets of 39 flows
+    assert recorder.packets_sampled == 5
+
+
+def test_capped_flow_earns_the_fast_lane_back():
+    """Once span-capped, a sampled flow is promoted like any other."""
+    batch = uniform_batch(1, 12, block=4)
+    recorder = FlowSpanRecorder(every=1, max_spans_per_flow=2)
+    result, platform = run_with_spans(batch, recorder)
+    assert result.delivered == 12
+    assert recorder.packets_sampled == 2
+    fid = recorder.roots()[0]["args"]["fid"]
+    assert recorder.skip.get(fid) is True
+    # packets after the cap (minus the promoting one) take the lane
+    assert platform.last_lane_stats["span_packets"] > 0
+
+
+def test_lane_publishes_runtime_lane_metrics():
+    registry = MetricsRegistry(enabled=True)
+    runtime = SpeedyBox(build_chain(), metrics=registry)
+    batch = uniform_batch(20, 5, interleave="round_robin", block=8)
+    result, platform = run_batch(batch, runtime=runtime)[0], None
+    snapshot = registry.snapshot()
+    assert snapshot["lane_batches_total"] == 1.0
+    # the template flow admits via the scalar path, like last_lane_stats
+    assert snapshot["lane_admitted_flows_total"] == 19.0
+    assert snapshot["lane_fast_packets_total"] == result.delivered - 20.0
+    assert snapshot["lane_flushes_total"] >= 1.0
+    assert snapshot["lane_plan_table_size"] >= 1.0

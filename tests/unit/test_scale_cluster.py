@@ -297,3 +297,65 @@ class TestAutoscalerLoop:
     def test_cluster_signals_validation(self):
         with pytest.raises(ValueError):
             ClusterSignals(MetricsRegistry(), ring_capacity=0)
+
+
+class TestAutoscalerHealth:
+    """Health-aware decisions: critical pressure and the scale-in veto."""
+
+    def feed(self, ts, replica=0, drops=0):
+        for i in range(16):
+            ts.record(
+                float(i),
+                latency_ns=None if i < drops else 100.0,
+                replica=replica,
+                dropped=(i < drops),
+            )
+
+    def make(self, replicas=3, drops_by_replica=(), **cfg):
+        from repro.obs import HealthModel, TimeSeries
+
+        ts = TimeSeries(window_packets=16)
+        health = HealthModel(timeseries=ts)
+        for replica, drops in enumerate(drops_by_replica):
+            self.feed(ts, replica=replica, drops=drops)
+        cluster = ScaleCluster(lambda: [Monitor("mon")], replicas=replicas)
+        return Autoscaler(cluster, AutoscalerConfig(**cfg), health=health)
+
+    def test_critical_replica_is_scale_out_pressure(self):
+        scaler = self.make(drops_by_replica=(0, 4))  # 25% drops -> CRITICAL
+        decision = scaler.evaluate(sample(ring=0.3, cores=0.5, replicas=3))
+        assert decision.action == +1
+        assert "critical replicas: 1" in decision.reason
+
+    def test_degraded_replica_vetoes_scale_in_without_pressure(self):
+        scaler = self.make(drops_by_replica=(0, 1))  # 6% drops -> DEGRADED
+        decision = scaler.evaluate(sample(ring=0.05, cores=0.05, replicas=3))
+        assert decision.action == 0
+        assert "scale-in vetoed: unhealthy replicas 1" in decision.reason
+
+    def test_healthy_cluster_scales_in_normally(self):
+        scaler = self.make(drops_by_replica=(0, 0))
+        decision = scaler.evaluate(sample(ring=0.05, cores=0.05, replicas=3))
+        assert decision.action == -1
+
+    def test_step_audits_cluster_health(self):
+        from repro.obs import HealthModel, TimeSeries
+        from repro.obs.health import DEGRADED
+
+        ts = TimeSeries(window_packets=16)
+        health = HealthModel(timeseries=ts)
+        from repro.obs.audit import AuditLog
+
+        self.feed(ts, replica=0, drops=1)  # DEGRADED before the window runs
+        cluster = ScaleCluster(build_chain, replicas=2, audit=AuditLog())
+        scaler = Autoscaler(
+            cluster,
+            AutoscalerConfig(
+                low_ring_occupancy=0.0, low_core_utilisation=0.0, cooldown_windows=0
+            ),
+            health=health,
+        )
+        scaler.step(packets_clone(trace(flows=4, packets=2)), inter_arrival_ns=1e6)
+        events = cluster.audit.events("autoscale_decision")
+        assert len(events) == 1
+        assert events[0]["cluster_health"] == DEGRADED
