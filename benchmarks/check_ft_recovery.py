@@ -17,7 +17,12 @@ oracle watching.  This gate re-asserts the recorded guarantees:
   (checkpoint interval + in-flight buffer), the knob the sweep turns;
 - recovery time stays under a generous wall-clock budget (default
   500 ms — simulation-scale recoveries run in single-digit ms, the
-  budget only catches pathological blowups).
+  budget only catches pathological blowups);
+- recovery cost was charged onto the packets that paid it: under the
+  default ``charge_recovery`` policy every buffered delivery carries
+  the failover stall on its simulated latency, so ``charged_packets``
+  must equal ``delivered`` and the charged stall must be non-zero
+  whenever anything was buffered.
 
 Exit code 1 on any failure.
 """
@@ -37,6 +42,8 @@ PER_INTERVAL = (
     "rebuilt",
     "equivalent",
     "divergences",
+    "charged_packets",
+    "stall_charged_ms",
 )
 
 
@@ -66,6 +73,8 @@ def check(metrics: dict, budget_ms: float) -> int:
         delivered = metrics[f"{prefix}_delivered"]
         replayed = metrics[f"{prefix}_replayed"]
         recovery_ms = metrics[f"{prefix}_recovery_ms"]
+        charged = metrics[f"{prefix}_charged_packets"]
+        stall_ms = metrics[f"{prefix}_stall_charged_ms"]
 
         checks = [
             (equivalent == 1 and divergences == 0,
@@ -76,6 +85,10 @@ def check(metrics: dict, budget_ms: float) -> int:
              f"replayed {replayed} <= interval {interval} + buffered {buffered}"),
             (recovery_ms <= budget_ms,
              f"recovery {recovery_ms:.2f} ms <= budget {budget_ms:.0f} ms"),
+            (charged == delivered,
+             f"charged {charged} == delivered {delivered} (stall on packets)"),
+            (stall_ms > 0 if delivered > 0 else stall_ms == 0,
+             f"stall charged {stall_ms:.2f} ms onto buffered deliveries"),
         ]
         for ok, description in checks:
             status = "ok" if ok else "FAIL"

@@ -15,10 +15,14 @@ directly — no baseline normalisation needed.  The same bound applies
 to the windowed-telemetry cells (``timeseries_overhead`` on the
 compiled per-packet path, ``lane_timeseries_overhead`` on the batch
 lane — the latter skipped when the lane cells report zero, i.e. the
-measuring box had no numpy).  A run fails when any instrumented cell
-exceeds the threshold (default 5%), when sampling degenerated (no
-flows sampled, or full-capture recorded no more spans than sampled),
-or when required metrics are missing.  Exit code 1 on any failure.
+measuring box had no numpy) and to the tail-latency forensics cells
+(``forensics_overhead`` for the production 1-in-16 decomposition
+stride, ``forensics_off_overhead`` for a constructed-but-disabled
+engine, which must be effectively free).  A run fails when any
+instrumented cell exceeds the threshold (default 5%), when sampling
+degenerated (no flows sampled, full-capture recorded no more spans
+than sampled, or forensics sampled no packets), or when required
+metrics are missing.  Exit code 1 on any failure.
 """
 
 from __future__ import annotations
@@ -36,6 +40,11 @@ REQUIRED = (
     "full_spans",
     "timeseries_s",
     "timeseries_overhead",
+    "forensics_s",
+    "forensics_overhead",
+    "forensics_off_s",
+    "forensics_off_overhead",
+    "forensics_sampled",
     "lane_off_s",
     "lane_timeseries_s",
     "lane_timeseries_overhead",
@@ -85,6 +94,28 @@ def check(metrics: dict, threshold: float) -> int:
         f"budget {100 * threshold:.0f}%)"
     )
     if ts_overhead > threshold:
+        failures += 1
+    fx_overhead = metrics["forensics_overhead"]
+    status = "ok" if fx_overhead <= threshold else "FAIL"
+    print(
+        f"{status:4s} forensics overhead (1-in-16): {100 * fx_overhead:+.1f}% "
+        f"(off {metrics['off_s']:.3f}s, forensics {metrics['forensics_s']:.3f}s, "
+        f"budget {100 * threshold:.0f}%)"
+    )
+    if fx_overhead > threshold:
+        failures += 1
+    if metrics["forensics_sampled"] < 1:
+        print("FAIL forensics degenerated: no packets were sampled")
+        failures += 1
+    fx_off = metrics["forensics_off_overhead"]
+    status = "ok" if fx_off <= threshold else "FAIL"
+    print(
+        f"{status:4s} forensics overhead (disabled engine): "
+        f"{100 * fx_off:+.1f}% "
+        f"(off {metrics['off_s']:.3f}s, "
+        f"disabled {metrics['forensics_off_s']:.3f}s — must be ~free)"
+    )
+    if fx_off > threshold:
         failures += 1
     if metrics["lane_off_s"] > 0:
         lane_overhead = metrics["lane_timeseries_overhead"]

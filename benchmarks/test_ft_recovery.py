@@ -8,6 +8,13 @@ log.  Each run goes through :func:`verify_equivalence_failover`, so
 every reported point is also a proof that recovery was loss-free,
 duplicate-free and state-identical — the shared NAT port pool and
 monitor aggregate included.
+
+Recovery cost is charged onto the packets that paid it: with the
+default ``charge_recovery`` policy every buffered in-flight delivery
+carries the failure-to-delivery wall time as simulated stall, so the
+``stall ms`` column is the tail-latency bill of the failover, not a
+wall-clock side channel.  ``repro obs explain`` decomposes the same
+charge per packet.
 """
 
 from benchmarks.harness import save_result
@@ -104,11 +111,14 @@ def test_ft_recovery_sweep(benchmark):
                 report.flows_restored,
                 report.flows_rebuilt,
                 f"{report.recovery_ms:.2f}",
+                f"{report.stall_charged_ns / 1e6:.2f}",
                 "yes" if report.equivalent else "NO",
             ]
         )
         prefix = f"interval_{interval}"
         metrics[f"{prefix}_recovery_ms"] = round(report.recovery_ms, 3)
+        metrics[f"{prefix}_charged_packets"] = report.charged_packets
+        metrics[f"{prefix}_stall_charged_ms"] = round(report.stall_charged_ns / 1e6, 3)
         metrics[f"{prefix}_buffered"] = report.buffered_packets
         metrics[f"{prefix}_delivered"] = report.delivered_packets
         metrics[f"{prefix}_replayed"] = report.replayed_packets
@@ -121,7 +131,16 @@ def test_ft_recovery_sweep(benchmark):
         assert aggregate.packets == len(packets), (interval, aggregate.packets)
 
     text = format_table(
-        ["interval", "buffered", "replayed", "restored", "rebuilt", "recovery ms", "equivalent"],
+        [
+            "interval",
+            "buffered",
+            "replayed",
+            "restored",
+            "rebuilt",
+            "recovery ms",
+            "stall ms",
+            "equivalent",
+        ],
         table_rows,
         title=(
             f"failover recovery vs checkpoint interval — kill 1/{REPLICAS} replicas "
@@ -134,3 +153,8 @@ def test_ft_recovery_sweep(benchmark):
         report, __ = results[interval]
         assert report.equivalent, report.summary()
         assert report.buffered_packets == report.delivered_packets
+        # default charge_recovery policy: every buffered delivery carries
+        # the failover stall on its simulated latency
+        assert report.charged_packets == report.delivered_packets
+        if report.charged_packets:
+            assert report.stall_charged_ns > 0

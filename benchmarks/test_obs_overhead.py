@@ -22,6 +22,16 @@ sampling) on both fast-path shapes:
   without and with the same telemetry stack (needs numpy; the cells
   report zero and are skipped by the checker without it).
 
+The tail-latency forensics engine gets its own cell pair on the
+compiled per-packet path:
+
+- ``forensics``     — :class:`ForensicsEngine` at the production
+  stride (1-in-16 packet sampling, worst-K ring), post-run
+  decomposition only (≤ the same 5 % budget);
+- ``forensics_off`` — the engine constructed but ``enabled=False``,
+  the disabled-mode configuration every run without
+  ``--forensics-out`` pays: one attribute check per run, ~0 %.
+
 Best-of-``REPEATS`` wall-clock for each lands in
 ``BENCH_obs_overhead.json``; the gate asserts every instrumented cell
 costs at most ``MAX_SAMPLED_OVERHEAD`` (5 %) over its uninstrumented
@@ -38,7 +48,7 @@ from repro import vector as vec
 from repro.core.actions import Modify
 from repro.core.framework import SpeedyBox
 from repro.nf import IPFilter, SyntheticNF
-from repro.obs import FlowSpanRecorder, HealthModel, SLOEngine, TimeSeries
+from repro.obs import FlowSpanRecorder, ForensicsEngine, HealthModel, SLOEngine, TimeSeries
 from repro.platform import PlatformConfig
 from repro.traffic import FlowSpec, TrafficGenerator
 from repro.traffic.columnar import uniform_batch
@@ -82,6 +92,16 @@ def many_flow_packets():
 
 def timed_run(packets, recorder):
     platform = make_platform("bess", SpeedyBox(build_chain()), spans=recorder)
+    clones = clone_packets(packets)
+    started = time.perf_counter()
+    result = platform.run_load(clones)
+    seconds = time.perf_counter() - started
+    assert result.delivered == len(packets)
+    return seconds
+
+
+def timed_forensics_run(packets, engine):
+    platform = make_platform("bess", SpeedyBox(build_chain()), forensics=engine)
     clones = clone_packets(packets)
     started = time.perf_counter()
     result = platform.run_load(clones)
@@ -156,12 +176,20 @@ def run_overhead():
     }
     seconds = {mode: float("inf") for mode in modes}
     recorders = {}
-    ts_s = float("inf")
+    ts_s = forensics_s = forensics_off_s = float("inf")
+    forensics_summary = None
     for __ in range(REPEATS):
         for mode in ("off", "sampled"):
             recorder = modes[mode]()
             seconds[mode] = min(seconds[mode], timed_run(packets, recorder))
             recorders[mode] = recorder
+        engine = ForensicsEngine(sample_every=16)
+        forensics_s = min(forensics_s, timed_forensics_run(packets, engine))
+        forensics_summary = engine.summary()
+        forensics_off_s = min(
+            forensics_off_s,
+            timed_forensics_run(packets, ForensicsEngine(enabled=False)),
+        )
         ts_s = min(ts_s, timed_ts_run(packets))
         recorder = modes["full"]()
         seconds["full"] = min(seconds["full"], timed_run(packets, recorder))
@@ -198,6 +226,12 @@ def run_overhead():
         "full_spans": float(full_summary["spans"]),
         "timeseries_s": ts_s,
         "timeseries_overhead": ts_s / seconds["off"] - 1.0,
+        "forensics_s": forensics_s,
+        "forensics_overhead": forensics_s / seconds["off"] - 1.0,
+        "forensics_off_s": forensics_off_s,
+        "forensics_off_overhead": forensics_off_s / seconds["off"] - 1.0,
+        "forensics_sampled": float(forensics_summary["sampled"]),
+        "forensics_windows": float(forensics_summary["windows"]),
         "lane_off_s": lane_off_s,
         "lane_timeseries_s": lane_ts_s,
         "lane_timeseries_overhead": (
@@ -222,6 +256,12 @@ def _report(metrics):
         f"timeseries : {metrics['timeseries_s']:.3f}s "
         f"(windows+health+SLO, overhead "
         f"{100 * metrics['timeseries_overhead']:+.1f}%)\n"
+        f"forensics  : {metrics['forensics_s']:.3f}s "
+        f"(1-in-16 decomposition, {metrics['forensics_sampled']:.0f} sampled, "
+        f"{metrics['forensics_windows']:.0f} windows, "
+        f"overhead {100 * metrics['forensics_overhead']:+.1f}%), "
+        f"disabled {metrics['forensics_off_s']:.3f}s "
+        f"({100 * metrics['forensics_off_overhead']:+.1f}%)\n"
         f"lane       : off {metrics['lane_off_s']:.3f}s, "
         f"timeseries {metrics['lane_timeseries_s']:.3f}s "
         f"(overhead {100 * metrics['lane_timeseries_overhead']:+.1f}%)"
@@ -243,6 +283,17 @@ def test_obs_overhead(benchmark):
         f"windowed telemetry costs {100 * metrics['timeseries_overhead']:.1f}% "
         f"over the uninstrumented per-packet fast path "
         f"(budget {100 * MAX_SAMPLED_OVERHEAD:.0f}%)"
+    )
+    assert metrics["forensics_sampled"] > 0, "forensics cell sampled no packets"
+    assert metrics["forensics_overhead"] <= MAX_SAMPLED_OVERHEAD, (
+        f"1-in-16 latency forensics costs "
+        f"{100 * metrics['forensics_overhead']:.1f}% over the uninstrumented "
+        f"fast path (budget {100 * MAX_SAMPLED_OVERHEAD:.0f}%)"
+    )
+    assert metrics["forensics_off_overhead"] <= MAX_SAMPLED_OVERHEAD, (
+        f"a disabled forensics engine costs "
+        f"{100 * metrics['forensics_off_overhead']:.1f}% — the disabled mode "
+        f"must be one attribute check per run"
     )
     if vec.HAVE_NUMPY:
         assert metrics["lane_timeseries_overhead"] <= MAX_SAMPLED_OVERHEAD, (

@@ -34,6 +34,13 @@ Commands
     Compare two sets of ``BENCH_*.json`` results (files or directories)
     direction-aware and exit 1 on regressions — the CI bench gate.
 
+``obs explain``
+    Tail-latency forensics: render the worst-K packet table with its
+    queue/service/transfer/stall decomposition, the stall charges, the
+    regime shifts and the unified causal timeline from a
+    ``--forensics-out`` artifact (joined with ``--audit`` / ``--spans``
+    / ``--windows`` artifacts when given).
+
 ``ft demo`` / ``ft report``
     Kill a replica mid-stream under checkpointed fault tolerance and
     prove the recovery was loss-free (``demo``); render the recovery
@@ -72,6 +79,7 @@ from repro.nf.base import NetworkFunction
 from repro.obs import (
     AuditLog,
     FlowSpanRecorder,
+    ForensicsEngine,
     HealthModel,
     MetricsRegistry,
     NULL_AUDIT,
@@ -124,15 +132,18 @@ def build_chain(spec: str) -> List[NetworkFunction]:
 
 
 def build_platform(
-    name: str, runtime, metrics=NULL_REGISTRY, tracer=NULL_TRACER, spans=None, timeseries=None
+    name: str, runtime, metrics=NULL_REGISTRY, tracer=NULL_TRACER, spans=None,
+    timeseries=None, forensics=None,
 ):
     if name == "bess":
         return BessPlatform(
-            runtime, metrics=metrics, tracer=tracer, spans=spans, timeseries=timeseries
+            runtime, metrics=metrics, tracer=tracer, spans=spans,
+            timeseries=timeseries, forensics=forensics,
         )
     if name == "onvm":
         return OpenNetVMPlatform(
-            runtime, metrics=metrics, tracer=tracer, spans=spans, timeseries=timeseries
+            runtime, metrics=metrics, tracer=tracer, spans=spans,
+            timeseries=timeseries, forensics=forensics,
         )
     raise SystemExit(f"unknown platform {name!r} (bess|onvm)")
 
@@ -148,6 +159,7 @@ class ObsBundle:
     timeseries: Optional[TimeSeries] = None
     health: Optional[HealthModel] = None
     slo: Optional[SLOEngine] = None
+    forensics: Optional[ForensicsEngine] = None
 
     def speedybox_kwargs(self) -> dict:
         """Keyword arguments for a SpeedyBox runtime built from this bundle."""
@@ -160,9 +172,12 @@ def make_observability(args) -> ObsBundle:
     ``--metrics-json``/``--metrics-prom`` enable the registry,
     ``--trace-out`` the packet tracer, ``--audit-out`` the decision audit
     log, ``--span-out`` the 1-in-N flow span sampler (ratio from
-    ``--span-every``), and ``--timeseries-out``/``--slo`` the windowed
+    ``--span-every``), ``--timeseries-out``/``--slo`` the windowed
     telemetry layer (window clock from ``--window-ns`` or
-    ``--window-packets``) with its health model and SLO engine.
+    ``--window-packets``) with its health model and SLO engine, and
+    ``--forensics-out`` the tail-latency forensics engine (worst-K from
+    ``--worst-k``, regime-shift detector attached to the telemetry
+    windows when those are on too).
     """
     want_metrics = getattr(args, "metrics_json", None) or getattr(args, "metrics_prom", None)
     metrics = MetricsRegistry() if want_metrics else NULL_REGISTRY
@@ -185,6 +200,16 @@ def make_observability(args) -> ObsBundle:
         health = HealthModel(timeseries=timeseries, audit=audit)
         if slo_specs:
             slo = SLOEngine.from_specs(slo_specs, timeseries=timeseries, audit=audit)
+    forensics = None
+    if getattr(args, "forensics_out", None):
+        forensics = ForensicsEngine(
+            worst_k=max(1, getattr(args, "worst_k", None) or 8), audit=audit
+        )
+        if timeseries is not None:
+            # Telemetry windows double as a second regime-shift signal:
+            # the detector sees every closing window, not just the
+            # forensics engine's own arrival-order windows.
+            forensics.detector.attach(timeseries)
     return ObsBundle(
         metrics=metrics,
         tracer=tracer,
@@ -193,6 +218,7 @@ def make_observability(args) -> ObsBundle:
         timeseries=timeseries,
         health=health,
         slo=slo,
+        forensics=forensics,
     )
 
 
@@ -237,6 +263,13 @@ def emit_observability(args, obs: ObsBundle) -> None:
         timeseries.finish()
         count = timeseries.write_jsonl(args.timeseries_out)
         print(f"wrote {count} telemetry windows to {args.timeseries_out}")
+    if obs.forensics is not None and getattr(args, "forensics_out", None):
+        count = obs.forensics.write_jsonl(args.forensics_out)
+        summary = obs.forensics.summary()
+        print(f"wrote {count} forensics rows to {args.forensics_out} "
+              f"({summary['packets']} packets decomposed, "
+              f"{summary['stall_records']} stall charges, "
+              f"{summary['regime_shifts']} regime shifts)")
     if health is not None and health.snapshot():
         print(f"cluster health: {health.worst_state()}")
     if slo is not None:
@@ -287,6 +320,7 @@ def cmd_demo(args: argparse.Namespace) -> int:
             tracer=obs.tracer,
             spans=obs.spans,
             timeseries=obs.timeseries,
+            forensics=obs.forensics,
         )
         latency = Distribution()
         dropped = 0
@@ -347,6 +381,10 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                 metrics=obs.metrics, tracer=obs.tracer, spans=obs.spans,
             )
             outcomes = platform.process_all(clone_packets(packets))
+            if obs.forensics is not None:
+                obs.forensics.observe_outcomes(
+                    platform, outcomes, replica=f"{runtime_cls.__name__}:n={n}"
+                )
             latency = Distribution([o.latency_us for o in outcomes])
             row.append(f"{latency.p50:.3f}")
         rows.append(row)
@@ -414,18 +452,29 @@ def cmd_batch(args: argparse.Namespace) -> int:
         f"packets, {args.block} concurrently live, flow table capacity {args.table}"
     )
 
-    def run_leg(batch_lane):
+    forensics = None
+    if args.forensics_out:
+        forensics = ForensicsEngine(worst_k=max(1, args.worst_k or 8))
+
+    def run_leg(batch_lane, forensics=None):
         runtime = SpeedyBox(
             batch_chain(), max_tracked_flows=args.table, max_flows=args.table
         )
         platform_cls = BessPlatform if args.platform == "bess" else OpenNetVMPlatform
-        platform = platform_cls(runtime, config=PlatformConfig(batch_lane=batch_lane))
+        platform = platform_cls(
+            runtime, config=PlatformConfig(batch_lane=batch_lane), forensics=forensics
+        )
         load = batch if batch_lane else batch.packet_view()
         started = _time.perf_counter()
         result = platform.run_load(load)
         return _time.perf_counter() - started, result, runtime
 
-    lane_s, lane_result, lane_runtime = run_leg(batch_lane=not args.no_batch_lane)
+    # Forensics rides only the measured leg; the post-run decomposition
+    # runs inside the timed window, so the wallclock column includes it
+    # when --forensics-out is given.
+    lane_s, lane_result, lane_runtime = run_leg(
+        batch_lane=not args.no_batch_lane, forensics=forensics
+    )
     stats = lane_runtime.stats()
     rows = [
         [
@@ -455,6 +504,11 @@ def cmd_batch(args: argparse.Namespace) -> int:
             rows,
         )
     )
+    if forensics is not None:
+        count = forensics.write_jsonl(args.forensics_out)
+        summary = forensics.summary()
+        print(f"wrote {count} forensics rows to {args.forensics_out} "
+              f"({summary['packets']} packets decomposed)")
     if args.compare and not args.no_batch_lane:
         same = (
             lane_result.latencies_ns == legacy_result.latencies_ns
@@ -493,6 +547,7 @@ def cmd_scale(args: argparse.Namespace) -> int:
                 audit=obs.audit,
                 spans=obs.spans,
                 timeseries=obs.timeseries,
+                forensics=obs.forensics,
             )
             ft = None
             if want_ft:
@@ -507,6 +562,8 @@ def cmd_scale(args: argparse.Namespace) -> int:
                         recover_after=args.recover_after,
                     ),
                     tracer=obs.tracer,
+                    charge_recovery=not args.no_charge_recovery,
+                    forensics=obs.forensics,
                 )
                 if obs.health is not None:
                     # Degraded windows trigger proactive checkpoints
@@ -532,6 +589,11 @@ def cmd_scale(args: argparse.Namespace) -> int:
             if ft is not None and ft.dead:
                 ft.recover_all()
             total = result.total
+            if ft is not None and ft.charged:
+                # Buffered-during-failover deliveries re-enter the
+                # latency population with their stall charged, so the
+                # p99 column reflects the outage they sat through.
+                total = total.merge(ft.charged_result())
             if baseline_mpps is None:
                 baseline_mpps = total.throughput_mpps
             speedup = (
@@ -567,7 +629,37 @@ def cmd_scale(args: argparse.Namespace) -> int:
     return 0
 
 
+class _ArtifactError(Exception):
+    """An obs artifact could not be loaded (missing, empty, truncated)."""
+
+
+def _load_artifact(action: str, what: str, loader, path):
+    """Load one artifact file; wrap failures in a user-facing message.
+
+    A run interrupted mid-write leaves an empty or truncated JSONL file;
+    the obs subcommands report that as one clear line on stderr and exit
+    2 instead of dumping a traceback.
+    """
+    try:
+        return loader(path)
+    except OSError as exc:
+        raise _ArtifactError(
+            f"obs {action}: cannot read {what} artifact {path}: "
+            f"{exc.strerror or exc}"
+        ) from exc
+    except ValueError as exc:
+        raise _ArtifactError(f"obs {action}: bad {what} artifact: {exc}") from exc
+
+
 def cmd_obs(args: argparse.Namespace) -> int:
+    try:
+        return _run_obs(args)
+    except _ArtifactError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+
+
+def _run_obs(args: argparse.Namespace) -> int:
     from repro.obs.report import load_jsonl, load_metrics, render_report
 
     if args.action == "diff":
@@ -594,30 +686,78 @@ def cmd_obs(args: argparse.Namespace) -> int:
             print("obs watch: pass --windows PATH (a run's --timeseries-out file)",
                   file=sys.stderr)
             return 2
-        rows = load_timeseries_jsonl(args.windows)
+        rows = _load_artifact("watch", "windows", load_timeseries_jsonl, args.windows)
         print(render_windows(rows, title=f"telemetry windows ({args.windows})"))
         if args.audit:
-            events = load_jsonl(args.audit)
+            events = _load_artifact("watch", "audit", load_jsonl, args.audit)
             if any(e.get("kind") in HEALTH_KINDS + SLO_KINDS for e in events):
                 print()
                 print(render_health_slo(events))
         return 0
 
-    if not (args.metrics or args.spans or args.audit or args.windows):
+    if args.action == "explain":
+        from repro.obs import load_timeseries_jsonl
+        from repro.obs.forensics import load_forensics_jsonl, render_explain
+
+        if not args.forensics:
+            print("obs explain: pass --forensics PATH (a run's --forensics-out "
+                  "file); --audit/--spans/--windows join the causal timeline",
+                  file=sys.stderr)
+            return 2
+        data = _load_artifact(
+            "explain", "forensics", load_forensics_jsonl, args.forensics
+        )
+        audit = (
+            _load_artifact("explain", "audit", load_jsonl, args.audit)
+            if args.audit else None
+        )
+        spans = (
+            _load_artifact("explain", "spans", load_jsonl, args.spans)
+            if args.spans else None
+        )
+        windows = (
+            _load_artifact("explain", "windows", load_timeseries_jsonl, args.windows)
+            if args.windows else None
+        )
+        print(render_explain(
+            data, audit=audit, spans=spans, windows=windows, top=args.top
+        ))
+        return 0
+
+    if not (args.metrics or args.spans or args.audit or args.windows
+            or args.forensics):
         print("obs report: pass at least one of --metrics, --spans, --audit, "
-              "--windows", file=sys.stderr)
+              "--windows, --forensics", file=sys.stderr)
         return 2
     from repro.obs import load_timeseries_jsonl
+    from repro.obs.forensics import load_forensics_jsonl
 
-    metrics = load_metrics(args.metrics) if args.metrics else None
-    spans = load_jsonl(args.spans) if args.spans else None
-    audit = load_jsonl(args.audit) if args.audit else None
-    windows = load_timeseries_jsonl(args.windows) if args.windows else None
+    metrics = (
+        _load_artifact("report", "metrics", load_metrics, args.metrics)
+        if args.metrics else None
+    )
+    spans = (
+        _load_artifact("report", "spans", load_jsonl, args.spans)
+        if args.spans else None
+    )
+    audit = (
+        _load_artifact("report", "audit", load_jsonl, args.audit)
+        if args.audit else None
+    )
+    windows = (
+        _load_artifact("report", "windows", load_timeseries_jsonl, args.windows)
+        if args.windows else None
+    )
+    forensics = (
+        _load_artifact("report", "forensics", load_forensics_jsonl, args.forensics)
+        if args.forensics else None
+    )
     print(render_report(
         metrics=metrics,
         spans=spans,
         audit=audit,
         windows=windows,
+        forensics=forensics,
         slo_us=args.slo_us,
         percentile=args.percentile,
         top=args.top,
@@ -654,6 +794,7 @@ def cmd_ft(args: argparse.Namespace) -> int:
         tracer=obs.tracer,
         audit=obs.audit,
         spans=obs.spans,
+        forensics=obs.forensics,
     )
     ft = FaultTolerance(
         cluster,
@@ -664,6 +805,8 @@ def cmd_ft(args: argparse.Namespace) -> int:
             recover_after=args.recover_after,
         ),
         tracer=obs.tracer,
+        charge_recovery=not args.no_charge_recovery,
+        forensics=obs.forensics,
     )
     print(f"chain: {args.chain}   replicas: {args.replicas}   "
           f"packets: {len(packets)}   kill at: {kill_at}   "
@@ -682,11 +825,12 @@ def cmd_ft(args: argparse.Namespace) -> int:
             r.packets_replayed,
             r.packets_delivered,
             f"{r.duration_s * 1000.0:.2f}",
+            f"{r.stall_charged_ns / 1e6:.2f}",
         ]
         for r in ft.recoveries
     ]
     print(format_table(
-        ["killed", "restored", "rebuilt", "replayed", "delivered", "ms"],
+        ["killed", "restored", "rebuilt", "replayed", "delivered", "ms", "stall ms"],
         rows,
         title=f"failover of replica {ft.injector.replica}",
     ))
@@ -818,6 +962,21 @@ def make_parser() -> argparse.ArgumentParser:
             help="declare an SLO, e.g. 'p99<250us@0.999' or 'loss<0.1%%' "
                  "(repeatable; enables the telemetry layer and SLO engine)",
         )
+        p.add_argument(
+            "--forensics-out",
+            metavar="PATH",
+            help="enable tail-latency forensics (per-packet "
+                 "queue/service/transfer/stall decomposition, worst-K flight "
+                 "recorder, regime-shift detector) and write the artifact as "
+                 "JSON lines — render it with 'repro obs explain'",
+        )
+        p.add_argument(
+            "--worst-k",
+            type=int,
+            default=8,
+            metavar="K",
+            help="worst packets kept per forensics window (default 8)",
+        )
 
     demo = sub.add_parser("demo", help="run a chain with and without SpeedyBox")
     demo.add_argument("--chain", default="nat,monitor,firewall")
@@ -882,6 +1041,15 @@ def make_parser() -> argparse.ArgumentParser:
         "--no-batch-lane", action="store_true",
         help="run the columnar batch through the per-packet path only",
     )
+    batch.add_argument(
+        "--forensics-out", metavar="PATH",
+        help="enable tail-latency forensics on the measured leg and write "
+             "the artifact as JSON lines (render with 'repro obs explain')",
+    )
+    batch.add_argument(
+        "--worst-k", type=int, default=8, metavar="K",
+        help="worst packets kept per forensics window (default 8)",
+    )
     batch.add_argument("--seed", type=int, default=1, help=argparse.SUPPRESS)
     profiling(batch)
     batch.set_defaults(func=cmd_batch)
@@ -928,6 +1096,11 @@ def make_parser() -> argparse.ArgumentParser:
         help="auto-recover M packets after the kill (default: recover "
              "at end of the window)",
     )
+    scale.add_argument(
+        "--no-charge-recovery", action="store_true",
+        help="do not charge failover stall (detect->drain wall time) to "
+             "buffered packets' simulated latency (pre-charging behaviour)",
+    )
     common(scale)
     observability(scale)
     scale.set_defaults(func=cmd_scale)
@@ -958,6 +1131,11 @@ def make_parser() -> argparse.ArgumentParser:
         "--recover-after", type=int, default=None, metavar="M",
         help="auto-recover M packets after the kill (default: at end)",
     )
+    ft.add_argument(
+        "--no-charge-recovery", action="store_true",
+        help="do not charge failover stall (detect->drain wall time) to "
+             "buffered packets' simulated latency (pre-charging behaviour)",
+    )
     ft.add_argument("--audit", metavar="PATH",
                     help="(report) audit-event JSONL file from --audit-out")
     ft.add_argument("--metrics", metavar="PATH",
@@ -969,13 +1147,18 @@ def make_parser() -> argparse.ArgumentParser:
     obs = sub.add_parser(
         "obs",
         help="render observability artifacts (spans, audit, metrics, "
-             "telemetry windows) or diff benchmark results",
+             "telemetry windows, forensics) or diff benchmark results",
     )
     obs.add_argument(
-        "action", choices=["report", "watch", "diff"], help="what to render"
+        "action", choices=["report", "watch", "diff", "explain"],
+        help="what to render",
     )
     obs.add_argument("--windows", metavar="PATH",
                      help="telemetry-window JSONL file (a --timeseries-out artifact)")
+    obs.add_argument("--forensics", metavar="PATH",
+                     help="tail-latency forensics JSONL file (a --forensics-out "
+                          "artifact; drives 'obs explain' and the report's "
+                          "forensics section)")
     obs.add_argument("--baseline", metavar="PATH",
                      help="diff: baseline BENCH_*.json file or directory")
     obs.add_argument("--current", metavar="PATH",

@@ -57,8 +57,10 @@ from typing import Dict, List, Optional
 
 from repro.net.packet import Packet
 from repro.obs.audit import AuditLog
+from repro.obs.forensics import StallCharge, emit_recovery_regime_shift
 from repro.obs.registry import MetricsRegistry
 from repro.obs.trace import NULL_TRACER, PacketTracer
+from repro.platform.base import LoadResult
 from repro.scale.cluster import ChainReplica, ScaleCluster
 from repro.ft.checkpoint import CheckpointManager, restore_flow
 from repro.ft.faults import FaultInjector
@@ -77,6 +79,10 @@ class DeadReplica:
     replica: ChainReplica
     killed_at_index: int
     buffered: List[Packet] = field(default_factory=list)
+    #: simulated arrival stamp of each buffered packet (parallel to
+    #: ``buffered``); ``None`` for packets without an arrival clock
+    #: (unloaded dispatch, absorbed freeze buffers)
+    arrivals: List[Optional[float]] = field(default_factory=list)
     frozen_absorbed: int = 0
     #: recovery-timeline clock: when the kill landed (tracer ns)
     killed_ns: float = 0.0
@@ -92,6 +98,8 @@ class RecoveryReport:
     handlers_rebound: int = 0
     packets_replayed: int = 0  # log entries re-run through the pipeline
     packets_delivered: int = 0  # buffered in-flight packets delivered live
+    packets_charged: int = 0  # deliveries charged with recovery stall
+    stall_charged_ns: float = 0.0  # total recovery stall charged to them
     duration_s: float = 0.0
     outcomes: List[object] = field(default_factory=list, repr=False)
 
@@ -109,6 +117,8 @@ class FaultTolerance:
         audit: Optional[AuditLog] = None,
         metrics: Optional[MetricsRegistry] = None,
         tracer: PacketTracer = NULL_TRACER,
+        charge_recovery: bool = True,
+        forensics=None,
     ):
         if checkpoint_interval <= 0:
             raise ValueError(
@@ -130,6 +140,16 @@ class FaultTolerance:
         self.recoveries: List[RecoveryReport] = []
         self.packets_buffered = 0
         self._in_recovery = False
+        #: charge recovery wall-time (detect → drain) onto the simulated
+        #: timeline of every buffered delivery (ROADMAP item-3 follow-on).
+        #: ``False`` restores the pre-charging behavior: recovery stays a
+        #: wall-clock side channel and delivered packets carry no stall.
+        self.charge_recovery = charge_recovery
+        #: optional :class:`repro.obs.forensics.ForensicsEngine` fed one
+        #: :class:`~repro.obs.forensics.StallCharge` per charged delivery
+        self.forensics = forensics
+        #: every charged delivery across all recoveries, in drain order
+        self.charged: List["StallCharge"] = []
         self._m_kills = metrics.counter("ft_kills_total", "replicas killed")
         self._m_recoveries = metrics.counter("ft_recoveries_total", "failovers completed")
         self._m_buffered = metrics.counter(
@@ -175,10 +195,18 @@ class FaultTolerance:
     def is_dead(self, replica_id: int) -> bool:
         return replica_id in self.dead
 
-    def buffer_packet(self, replica_id: int, packet: Packet) -> None:
-        """Hold an in-flight packet addressed to a dead replica's flow."""
+    def buffer_packet(
+        self, replica_id: int, packet: Packet, arrival_ns: Optional[float] = None
+    ) -> None:
+        """Hold an in-flight packet addressed to a dead replica's flow.
+
+        ``arrival_ns`` is the packet's simulated arrival stamp (loaded
+        runs pass it); recovery charges the stall from that arrival to
+        the packet's delivery when ``charge_recovery`` is on.
+        """
         dead = self.dead[replica_id]
         dead.buffered.append(packet)
+        dead.arrivals.append(arrival_ns)
         self.packets_buffered += 1
         self._m_buffered.inc()
         self.audit.emit(
@@ -309,6 +337,7 @@ class FaultTolerance:
             for member in group:
                 cluster._frozen.pop(member, None)
             dead.buffered.extend(buffer)
+            dead.arrivals.extend([None] * len(buffer))
             dead.frozen_absorbed += len(buffer)
             self.audit.emit(
                 "ft_freeze_absorbed",
@@ -515,11 +544,35 @@ class FaultTolerance:
             # These are live deliveries: their outcomes count.  A packet
             # whose flow is homed on *another* dead replica (concurrent
             # failure) re-buffers there and is delivered by that recovery.
-            for packet in dead.buffered:
+            # With charge_recovery on, each delivery is charged the wall
+            # time from failure detection to its delivery as simulated
+            # stall — the recovery cost lands on the packets that paid
+            # it, not just on a wall-clock side channel.
+            charge = self.charge_recovery
+            recovery_charges: List[StallCharge] = []
+            for packet, arrival_ns in zip(dead.buffered, dead.arrivals):
+                flow = str(packet.five_tuple().canonical())
                 outcome = cluster.process(packet)
-                if outcome is not None:
-                    report.packets_delivered += 1
-                    report.outcomes.append(outcome)
+                if outcome is None:
+                    continue
+                report.packets_delivered += 1
+                report.outcomes.append(outcome)
+                if charge:
+                    stall_ns = self._now_ns() - dead.killed_ns
+                    charged = StallCharge(
+                        replica=replica_id,
+                        flow=flow,
+                        arrival_ns=arrival_ns if arrival_ns is not None else 0.0,
+                        stall_ns=stall_ns,
+                        service_ns=outcome.latency_ns,
+                        cause="failover",
+                    )
+                    recovery_charges.append(charged)
+                    self.charged.append(charged)
+                    report.packets_charged += 1
+                    report.stall_charged_ns += stall_ns
+                    if self.forensics is not None:
+                        self.forensics.note_stall(charged)
 
             now = self._now_ns()
             tracer.span(
@@ -550,6 +603,15 @@ class FaultTolerance:
         report.duration_s = time.perf_counter() - started
         self.recoveries.append(report)
         self._m_recoveries.inc()
+        # The stall regime shifted the moment these deliveries were
+        # charged: audit it *before* ft_failover_complete so the shift's
+        # seq precedes the completion's in the causal timeline.
+        if recovery_charges:
+            emit_recovery_regime_shift(
+                self.audit,
+                replica_id,
+                [charged.stall_ns for charged in recovery_charges],
+            )
         self.audit.emit(
             "ft_failover_complete",
             replica=replica_id,
@@ -565,6 +627,30 @@ class FaultTolerance:
     def recover_all(self) -> List[RecoveryReport]:
         """Recover every dead replica (lowest id first)."""
         return [self.recover(rid) for rid in sorted(self.dead)]
+
+    def charged_result(self) -> LoadResult:
+        """The charged deliveries as a mergeable :class:`LoadResult`.
+
+        Each latency is the delivery's ``service + stall`` (canonical
+        component order, so forensic decomposition of these packets is
+        exact by construction).  Merge it into a run's total so
+        post-failover percentiles include the recovery stall::
+
+            total = result.total.merge(ft.charged_result())
+        """
+        latencies = [charged.latency_ns for charged in self.charged]
+        makespan = 0.0
+        for charged in self.charged:
+            finish = charged.arrival_ns + charged.latency_ns
+            if finish > makespan:
+                makespan = finish
+        return LoadResult(
+            offered=len(latencies),
+            delivered=len(latencies),
+            dropped=0,
+            makespan_ns=makespan,
+            latencies_ns=latencies,
+        )
 
     def __repr__(self) -> str:
         return (

@@ -56,6 +56,8 @@ class FailoverVerificationReport(VerificationReport):
     replayed_packets: int = 0  # log entries re-run (state rebuild only)
     flows_restored: int = 0
     flows_rebuilt: int = 0
+    charged_packets: int = 0  # deliveries whose latency carries the stall
+    stall_charged_ns: float = 0.0  # failover stall charged onto them, total
     recoveries: List[RecoveryReport] = field(default_factory=list, repr=False)
 
     @property
@@ -71,6 +73,11 @@ class FailoverVerificationReport(VerificationReport):
             f"{self.replayed_packets} log packets replayed, "
             f"{self.recovery_ms:.2f} ms recovery"
         )
+        if self.charged_packets:
+            lines.append(
+                f"stall charged: {self.stall_charged_ns / 1e6:.2f} ms over "
+                f"{self.charged_packets} buffered deliveries"
+            )
         return "\n".join(lines)
 
 
@@ -87,6 +94,7 @@ def verify_equivalence_failover(
     churn_at: Optional[int] = None,
     speedybox_kwargs: Optional[dict] = None,
     platform: str = "bess",
+    charge_recovery: bool = True,
 ) -> FailoverVerificationReport:
     """Kill a replica mid-stream; prove recovery was invisible.
 
@@ -123,6 +131,7 @@ def verify_equivalence_failover(
         injector=FaultInjector(
             kill_at=kill_at, replica=kill_replica, recover_after=recover_after
         ),
+        charge_recovery=charge_recovery,
     )
 
     ref_stream = [packet.clone() for packet in packets]
@@ -149,6 +158,8 @@ def verify_equivalence_failover(
     report.replayed_packets = sum(r.packets_replayed for r in ft.recoveries)
     report.flows_restored = sum(r.flows_restored for r in ft.recoveries)
     report.flows_rebuilt = sum(r.flows_rebuilt for r in ft.recoveries)
+    report.charged_packets = sum(r.packets_charged for r in ft.recoveries)
+    report.stall_charged_ns = sum(r.stall_charged_ns for r in ft.recoveries)
 
     # Loss- and duplicate-freedom in one equation: every packet got
     # exactly one live outcome, either in-stream or via recovery delivery.

@@ -25,6 +25,11 @@ benchmark arithmetic:
   error-budget accounting and burn-rate alerts.
 - :mod:`repro.obs.benchdiff` — BENCH_*.json regression differ behind
   ``repro obs diff`` and the CI bench-diff gate.
+- :mod:`repro.obs.forensics` — tail-latency forensics: exact per-packet
+  latency decomposition (queue / service / transfer / stall), a worst-K
+  flight recorder, a regime-shift detector emitting
+  ``latency_regime_shift`` audit events, and the unified causal
+  timeline behind ``repro obs explain``.
 
 Everything defaults to *off* via shared null objects
 (:data:`NULL_REGISTRY`, :data:`NULL_TRACER`); with observability
@@ -40,6 +45,21 @@ from repro.obs.benchdiff import (
     diff_benches,
     diff_metrics,
     render_diff,
+)
+from repro.obs.forensics import (
+    FlightRecorder,
+    ForensicsEngine,
+    RegimeShiftDetector,
+    StallCharge,
+    TailRecord,
+    build_timeline,
+    components_sum,
+    decompose,
+    exact_residual,
+    load_forensics_jsonl,
+    render_explain,
+    render_forensics,
+    split_plan_total,
 )
 from repro.obs.health import (
     HealthModel,
@@ -83,7 +103,9 @@ __all__ = [
     "DiffEntry",
     "EngineObserver",
     "FanoutObserver",
+    "FlightRecorder",
     "FlowSpanRecorder",
+    "ForensicsEngine",
     "Gauge",
     "HealthModel",
     "HealthThresholds",
@@ -93,26 +115,37 @@ __all__ = [
     "NULL_REGISTRY",
     "NULL_TRACER",
     "PacketTracer",
+    "RegimeShiftDetector",
     "ReplicaHealth",
     "SLOEngine",
     "SLObjective",
     "STAGE_ORDER",
     "Span",
+    "StallCharge",
+    "TailRecord",
     "TimeSeries",
     "TracingObserver",
     "Window",
+    "build_timeline",
     "collect_benches",
+    "components_sum",
+    "decompose",
     "diff_benches",
     "diff_metrics",
+    "exact_residual",
     "load_audit_jsonl",
+    "load_forensics_jsonl",
     "load_span_jsonl",
     "load_timeseries_jsonl",
     "parse_prometheus",
     "percentile_from_deltas",
     "render_diff",
+    "render_explain",
+    "render_forensics",
     "render_prometheus",
     "render_report",
     "render_windows",
+    "split_plan_total",
     "stage_of",
     "summarize_events",
     "trace_unloaded",

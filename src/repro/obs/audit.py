@@ -32,7 +32,15 @@ causal flow identifiers:
   and triggering reasons);
 - SLOs — ``slo_burn_alert`` from :class:`repro.obs.slo.SLOEngine`, one
   event per window whose burn rate crossed the alerting threshold
-  (objective name, burn rate, bad/total events).
+  (objective name, burn rate, bad/total events);
+- latency forensics — ``latency_regime_shift`` from
+  :class:`repro.obs.forensics.RegimeShiftDetector` (a window's p50/p99
+  jumped past the trailing baseline, or its buffered fraction crossed
+  the stall threshold) and from the FT coordinator when a recovery
+  charges stall onto buffered deliveries — always emitted *before*
+  that recovery's ``ft_failover_complete``; names the decomposition
+  component that moved (``component=`` queue / service / transfer /
+  stall) with the baseline and current values.
 
 Events are dicts with a monotonically increasing ``seq`` (deterministic
 — tests assert on it), a wall-clock ``ts`` (injectable clock), the

@@ -26,7 +26,14 @@ one-page view:
   (gen-3 windows), when a run emitted them;
 - **telemetry windows** — the per-window table when a
   ``--timeseries-out`` artifact is supplied;
+- **latency forensics** — component attribution and the worst-K tail
+  table when a ``--forensics-out`` artifact is supplied (see
+  :mod:`repro.obs.forensics`);
 - **metrics summary** — the snapshot itself, family-grouped.
+
+The loaders raise :class:`ValueError` with the offending path and line
+number on truncated or invalid JSONL input — the CLI turns that into a
+clear message and a nonzero exit instead of a traceback.
 
 Everything here is pure functions over loaded dicts so the unit suite
 drives it without a CLI round-trip; :func:`render_report` is what the
@@ -44,13 +51,27 @@ from repro.stats.tables import format_table
 
 
 def load_jsonl(path) -> List[Dict[str, Any]]:
-    """Read a JSONL artifact (spans or audit events) into dicts."""
+    """Read a JSONL artifact (spans or audit events) into dicts.
+
+    Raises :class:`ValueError` naming the path and 1-based line number
+    when a line is not valid JSON (a truncated write leaves a partial
+    final line), and when the file holds no records at all — both cases
+    the CLI reports as a clear error with a nonzero exit.
+    """
     records: List[Dict[str, Any]] = []
     with open(path) as handle:
-        for line in handle:
+        for lineno, line in enumerate(handle, start=1):
             line = line.strip()
-            if line:
+            if not line:
+                continue
+            try:
                 records.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    f"{path}:{lineno}: invalid JSONL (truncated write?): {exc.msg}"
+                ) from exc
+    if not records:
+        raise ValueError(f"{path}: empty artifact — no JSONL records to report on")
     return records
 
 
@@ -337,6 +358,7 @@ def render_report(
     percentile: float = 0.99,
     top: int = 5,
     windows: Optional[Sequence[Dict[str, Any]]] = None,
+    forensics: Optional[Dict[str, Any]] = None,
 ) -> str:
     """The full dashboard; sections appear for the artifacts provided."""
     blocks: List[str] = ["repro obs report\n================"]
@@ -357,6 +379,10 @@ def render_report(
         from repro.obs.timeseries import render_windows
 
         blocks.append(render_windows(windows, title=f"telemetry windows ({len(windows)})"))
+    if forensics is not None:
+        from repro.obs.forensics import render_forensics
+
+        blocks.append(render_forensics(forensics, top=top))
     if metrics is not None:
         blocks.append(render_metrics_summary(metrics))
     if len(blocks) == 1:

@@ -20,6 +20,7 @@ Subclasses define the transport costs and the stage topology.
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
@@ -182,6 +183,36 @@ _SPAN_DONE = object()
 #: moves on to the next packet.
 StagePlan = List[Tuple[Optional[int], float]]
 
+#: bound on ``Platform._forensics_plan_info`` (one entry per distinct
+#: plan, i.e. per flow) — past this the map is cleared rather than grown;
+#: worst-K records from evicted-and-reborn flows just lose their flow-id
+#: label, never their decomposition
+_FORENSICS_INFO_CAP = 1 << 16
+
+
+class _PlanInfoColumn:
+    """Per-packet ``fids``/``fast_flags`` view over the plan-info map.
+
+    ``column[i]`` resolves packet ``i``'s captured context through its
+    plan's identity — built lazily, paid only for the handful of worst-K
+    records the forensics engine actually labels.  Raises ``IndexError``
+    for plans the capture never saw (cache hits predating the engine),
+    which the engine maps to an absent label.
+    """
+
+    __slots__ = ("plans", "info", "slot")
+
+    def __init__(self, plans, info, slot):
+        self.plans = plans
+        self.info = info
+        self.slot = slot
+
+    def __getitem__(self, index):
+        entry = self.info.get(id(self.plans[index]))
+        if entry is None:
+            raise IndexError(index)
+        return entry[self.slot]
+
 
 def _is_packet_batch(packets) -> bool:
     """Duck-type check without importing repro.traffic at module load."""
@@ -261,6 +292,7 @@ class Platform:
         label: Optional[str] = None,
         spans: Optional[FlowSpanRecorder] = None,
         timeseries=None,
+        forensics=None,
     ):
         self.runtime = runtime
         self.config = config or PlatformConfig()
@@ -286,6 +318,24 @@ class Platform:
         #: costs nothing per packet and keeps the compiled/batch fast
         #: lanes (and the analytic replay) fully eligible.
         self.timeseries = timeseries
+        #: tail-latency forensics engine (repro.obs.forensics) or None.
+        #: Like the timeseries it consumes the *finished* replay — plans
+        #: and completions after the run — so it never disqualifies the
+        #: analytic or batch lanes and a disabled/absent engine costs one
+        #: flag check per run, not per packet.  When enabled, the lean
+        #: functional pass additionally captures per-packet flow ids and
+        #: per-plan transfer overhead for the worst-K causal context.
+        self.forensics = forensics
+        #: ``id(plan) -> (plan, fid, is_fast, transfer_ns)`` captured by
+        #: the functional passes of forensics-enabled runs.  Filled on
+        #: the plan-cache *miss* path only — a steady-state packet pays
+        #: nothing — and keyed per plan, which is per flow (steady
+        #: singleton reports memoize exactly one plan each).  The plan
+        #: itself is held in the value so a garbage-collected plan can
+        #: never leave a recycled ``id()`` pointing at stale context;
+        #: the map survives across runs (plan caches do too) and is
+        #: cleared when it outgrows :data:`_FORENSICS_INFO_CAP`.
+        self._forensics_plan_info: Dict[int, tuple] = {}
         #: runtime.fast_packets at the last time-series ingest — the
         #: delta is the run's fast-path hit count for the windows
         self._ts_fast_prev = 0
@@ -396,6 +446,57 @@ class Platform:
         """Platform-specific fixed overhead of the fast path (per packet)."""
         return 0.0
 
+    # -- forensics hooks (transfer-overhead attribution) ---------------------
+
+    def _plan_transfer_ns(self, report: ProcessReport) -> float:
+        """Transport-overhead ns inside this report's stage plan.
+
+        The share of the plan's total service time spent moving the
+        packet rather than processing it — NIC amortisation plus the
+        platform's inter-NF transport (dispatch / ring hops).  Used by
+        the forensics decomposition; clamped into the plan total at the
+        split, so a generous estimate cannot break exactness.
+        """
+        model = self.costs
+        transport = 0.0
+        if report.is_fast:
+            transport = self._fast_path_extra_cycles()
+        else:
+            transport = len(report.nf_meters) * self._transport_cycles_per_hop()
+        return model.cycles_to_ns(self._nic_cycles() + transport)
+
+    def _transfer_estimate_for_plan(self, plan: StagePlan) -> float:
+        """Transfer estimate when only the plan shape is available.
+
+        The batch lane's plan table has no reports to consult; table
+        plans are steady fast-path flows, so the NIC share plus the
+        fast-path extra is the right model.  Multi-hop (slow-path)
+        plans add one transport hop per extra stage.
+        """
+        model = self.costs
+        cycles = self._nic_cycles()
+        if len(plan) <= 1:
+            cycles += self._fast_path_extra_cycles()
+        else:
+            cycles += (len(plan) - 1) * self._transport_cycles_per_hop()
+        return model.cycles_to_ns(cycles)
+
+    def _forensics_info_map(self) -> Optional[Dict[int, tuple]]:
+        """The plan-info capture map, or None when forensics is off.
+
+        Bounded: once the map outgrows :data:`_FORENSICS_INFO_CAP`
+        distinct plans it is cleared — future worst-K records from
+        already-cached flows lose their flow-id/fast labels (and fall
+        back to the plan-shape transfer estimate), nothing else.
+        """
+        forensics = self.forensics
+        if forensics is None or not forensics.enabled:
+            return None
+        info = self._forensics_plan_info
+        if len(info) > _FORENSICS_INFO_CAP:
+            info.clear()
+        return info
+
     # -- unloaded mode ---------------------------------------------------------
 
     def process(self, packet: Packet) -> PacketOutcome:
@@ -469,6 +570,8 @@ class Platform:
                 return self._run_load_batch(packets, inter_arrival_ns)
             packets = packets.packet_view()
         spans = self.spans
+        forensics = self.forensics
+        forensics_on = forensics is not None and forensics.enabled
         if spans is not None:
             spans.begin_run()
             self._span_run_index = -1
@@ -478,22 +581,45 @@ class Platform:
             )
         finally:
             self._span_run_index = None
+        index_latencies = None
         if self._analytic_valid(plans):
+            if forensics_on:
+                index_latencies = array("d")
             arrival_at, completions = analytic_replay(
-                plans, gaps, self._stage_count(), self.config.ring_capacity
+                plans,
+                gaps,
+                self._stage_count(),
+                self.config.ring_capacity,
+                index_latencies=index_latencies,
             )
             run = PipelineRun(rings=[], arrival_at=arrival_at, completions=completions)
+            lane = "analytic"
         else:
             engine = Engine()
             self._attach_observer(engine)
             run = self._spawn_pipeline(engine, plans, gaps)
             engine.run()
             self._publish_load_metrics(run.rings)
+            lane = "des"
         if spans is not None:
             spans.annotate_loaded(run.arrival_at, run.completions)
         result = run.to_load_result(offered=len(plans), dropped=dropped)
         if self.timeseries is not None:
             self._ingest_timeseries(result, inter_arrival_ns)
+        if forensics_on:
+            info = self._forensics_plan_info
+            forensics.observe_run(
+                self,
+                plans,
+                run.arrival_at,
+                run.completions,
+                replica=self.label,
+                lane=lane,
+                fids=_PlanInfoColumn(plans, info, 1) if info else None,
+                fast_flags=_PlanInfoColumn(plans, info, 2) if info else None,
+                transfers={pid: entry[3] for pid, entry in info.items()} or None,
+                index_latencies=index_latencies,
+            )
         return result
 
     def _ingest_timeseries(self, result: LoadResult, inter_arrival_ns: float) -> None:
@@ -565,6 +691,8 @@ class Platform:
             "plan_table_size": len(table),
         }
 
+        forensics = self.forensics
+        forensics_on = forensics is not None and forensics.enabled
         if inter_arrival_ns == 0 and self.config.analytic_replay:
             vectored = analytic_replay_vector(table, plan_ids, self.config.ring_capacity)
             if vectored is not None:
@@ -578,6 +706,11 @@ class Platform:
                 )
                 if self.timeseries is not None:
                     self._ingest_timeseries(result, inter_arrival_ns)
+                if forensics_on:
+                    forensics.observe_batch(
+                        self, table, plan_ids, latencies,
+                        replica=self.label, batch=batch,
+                    )
                 return result
         # General case: expand the plan table per packet and reuse the
         # scalar replay machinery (closed form when valid, DES otherwise).
@@ -585,22 +718,36 @@ class Platform:
         gaps = [inter_arrival_ns] * offered
         if gaps:
             gaps[0] = 0.0
+        index_latencies = None
         if self._analytic_valid(plans):
+            if forensics_on:
+                index_latencies = array("d")
             arrival_at, completions = analytic_replay(
-                plans, gaps, self._stage_count(), self.config.ring_capacity
+                plans,
+                gaps,
+                self._stage_count(),
+                self.config.ring_capacity,
+                index_latencies=index_latencies,
             )
             run = PipelineRun(rings=[], arrival_at=arrival_at, completions=completions)
+            lane = "analytic"
         else:
             engine = Engine()
             self._attach_observer(engine)
             run = self._spawn_pipeline(engine, plans, gaps)
             engine.run()
             self._publish_load_metrics(run.rings)
+            lane = "des"
         if spans is not None:
             spans.annotate_loaded(run.arrival_at, run.completions)
         result = run.to_load_result(offered=offered, dropped=dropped)
         if self.timeseries is not None:
             self._ingest_timeseries(result, inter_arrival_ns)
+        if forensics_on:
+            forensics.observe_run(
+                self, plans, run.arrival_at, run.completions,
+                replica=self.label, lane=lane, index_latencies=index_latencies,
+            )
         return result
 
     def _analytic_valid(self, plans: Sequence[StagePlan]) -> bool:
@@ -639,6 +786,7 @@ class Platform:
         gaps: List[float] = []
         dropped = 0
         previous_ts: Optional[float] = None
+        capture = self._forensics_info_map()
         for packet in packets:
             if use_timestamps:
                 if previous_ts is not None and packet.timestamp_ns < previous_ts:
@@ -648,7 +796,13 @@ class Platform:
             else:
                 gaps.append(inter_arrival_ns if plans else 0.0)
             outcome = self.process(packet)
-            plans.append(self._stage_plan(outcome.report))
+            plan = self._stage_plan(outcome.report)
+            plans.append(plan)
+            if capture is not None and id(plan) not in capture:
+                report = outcome.report
+                capture[id(plan)] = (
+                    plan, report.fid, report.is_fast, self._plan_transfer_ns(report)
+                )
             if outcome.dropped:
                 dropped += 1
         return plans, gaps, dropped
@@ -690,7 +844,8 @@ class Platform:
         stage_plan = self._stage_plan
         append_plan = plans.append
         spans = self.spans
-        if spans is None:
+        capture = self._forensics_info_map()
+        if spans is None and capture is None:
             for packet in packets:
                 report = process(packet)
                 if report.dropped:
@@ -708,6 +863,35 @@ class Platform:
                         report.plan_cache = (self, plan, None, None)
                 else:
                     plan = stage_plan(report)
+                append_plan(plan)
+        elif spans is None:
+            # Forensics-capture variant: identical to the spans-off loop
+            # body on the steady-state plan-cache *hit* path — capture
+            # happens only on the miss path (once per flow) and for
+            # non-steady packets, so per-packet cost vs. the
+            # uninstrumented loop above is zero.  The disabled-forensics
+            # overhead cell gates on the loop above keeping its shape;
+            # the enabled cell gates on this one.
+            plan_transfer = self._plan_transfer_ns
+            for packet in packets:
+                report = process(packet)
+                if report.dropped:
+                    dropped += 1
+                if report.steady:
+                    cached = report.plan_cache
+                    if cached is not None and cached[0] is self:
+                        plan = cached[1]
+                    else:
+                        plan = stage_plan(report)
+                        report.plan_cache = (self, plan, None, None)
+                        capture[id(plan)] = (
+                            plan, report.fid, report.is_fast, plan_transfer(report)
+                        )
+                else:
+                    plan = stage_plan(report)
+                    capture[id(plan)] = (
+                        plan, report.fid, report.is_fast, plan_transfer(report)
+                    )
                 append_plan(plan)
         else:
             # Span-sampling variant.  The trick that keeps 1-in-N
@@ -745,6 +929,11 @@ class Platform:
                     append_plan(plan)
                     if skip_get(report.fid) is None:
                         record_span(report, len(plans) - 1)
+                if capture is not None and id(plan) not in capture:
+                    capture[id(plan)] = (
+                        plan, report.fid, report.is_fast,
+                        self._plan_transfer_ns(report),
+                    )
         self.packets += len(plans)
         return plans, gaps, dropped
 
@@ -894,4 +1083,5 @@ class Platform:
         self.last_lane_stats = None
         self._trace_clock_ns = 0.0
         self._ts_fast_prev = 0
+        self._forensics_plan_info.clear()
         self.runtime.reset()

@@ -100,6 +100,7 @@ class ScaleCluster:
         audit: AuditLog = NULL_AUDIT,
         spans: Optional[FlowSpanRecorder] = None,
         timeseries=None,
+        forensics=None,
     ):
         if platform not in PLATFORM_CLASSES:
             raise ValueError(f"unknown platform {platform!r} (bess|onvm)")
@@ -123,6 +124,13 @@ class ScaleCluster:
         #: what lets the health model flag a replica as degraded while
         #: the window that doomed it is still in flight
         self.timeseries = timeseries
+        #: optional :class:`repro.obs.forensics.ForensicsEngine`.  The
+        #: dispatch loop captures per-packet flow ids / fast flags /
+        #: transfer overhead, and each replica's finished replay is
+        #: decomposed post-run; replica platforms share the same engine
+        #: so :meth:`run_load_batch` (which delegates to platform
+        #: ``run_load``) is covered too.
+        self.forensics = forensics
         #: per-replica fast-path counter watermarks for the pump
         self._ts_fast_prev: Dict[int, int] = {}
         self.replicas: Dict[int, ChainReplica] = {}
@@ -174,6 +182,7 @@ class ScaleCluster:
             tracer=self.tracer,
             label=f"{platform_cls.name}:r{rid}",
             spans=self.spans,
+            forensics=self.forensics,
         )
         self.replicas[rid] = ChainReplica(replica_id=rid, platform=platform)
         return rid
@@ -272,6 +281,12 @@ class ScaleCluster:
         dropped: Dict[int, int] = {rid: 0 for rid in participants}
         last_arrival: Dict[int, float] = {}
         timeseries = self.timeseries
+        forensics = self.forensics
+        forensics_on = forensics is not None and forensics.enabled
+        #: per-replica (fids, fast_flags, transfers) aligned with plans
+        captures: Optional[Dict[int, tuple]] = (
+            {rid: ([], [], []) for rid in participants} if forensics_on else None
+        )
         for index, packet in enumerate(packets):
             arrival = index * inter_arrival_ns
             if self.ft is not None:
@@ -281,7 +296,9 @@ class ScaleCluster:
             if self.ft is not None and self.ft.is_dead(rid):
                 # Buffered against the dead replica: delivered (and its
                 # outcome counted) by recovery, outside this timing run.
-                self.ft.buffer_packet(rid, packet)
+                # The arrival stamp lets recovery charge the stall from
+                # this packet's offered time to its delivery.
+                self.ft.buffer_packet(rid, packet, arrival_ns=arrival)
                 if timeseries is not None:
                     timeseries.record(arrival, None, replica=rid, buffered=True)
                 continue
@@ -295,6 +312,12 @@ class ScaleCluster:
             plans[rid].append(plan)
             gaps[rid].append(arrival - last_arrival.get(rid, 0.0))
             last_arrival[rid] = arrival
+            if captures is not None:
+                report = outcome.report
+                capture = captures[rid]
+                capture[0].append(report.fid)
+                capture[1].append(report.is_fast)
+                capture[2].append(platform._plan_transfer_ns(report))
             if outcome.dropped:
                 dropped[rid] += 1
             if timeseries is not None:
@@ -368,6 +391,21 @@ class ScaleCluster:
             busy_ns[rid] = sum(
                 service for plan in plans[rid] for __, service in plan
             )
+        if captures is not None:
+            lane = "analytic" if analytic else "des"
+            for rid, run in runs.items():
+                fids, fast_flags, transfers = captures[rid]
+                forensics.observe_run(
+                    participants[rid].platform,
+                    plans[rid],
+                    run.arrival_at,
+                    run.completions,
+                    replica=rid,
+                    lane=lane,
+                    fids=fids or None,
+                    transfers=transfers or None,
+                    fast_flags=fast_flags or None,
+                )
         total = LoadResult.merged(list(per_replica.values()))
         return ClusterLoadResult(total=total, per_replica=per_replica, busy_ns=busy_ns)
 

@@ -39,6 +39,7 @@ close — the equivalence suite asserts exact equality.
 
 from __future__ import annotations
 
+import operator
 from typing import Dict, List, Optional, Sequence, Tuple
 
 #: Pseudo stage index for the packet source in the producer-uniqueness map.
@@ -90,6 +91,7 @@ def analytic_replay(
     gaps: Sequence[float],
     stage_count: int,
     ring_capacity: Optional[int],
+    index_latencies=None,
 ) -> Tuple[List[float], List[Tuple[int, float]]]:
     """Replay stage plans analytically; returns (arrival_at, completions).
 
@@ -103,6 +105,13 @@ def analytic_replay(
     does not guarantee, and invisible to every downstream consumer
     (latency lists are compared as populations, never positionally
     across replay engines at equal timestamps).
+
+    ``index_latencies``, when given a mutable sequence (a list or an
+    ``array('d')``), is extended with every packet's sojourn time
+    ``finish - arrival`` in *packet-index* order — the order the sort
+    below erases — in one C-level pass, so forensics consumers can
+    window the run as contiguous slices without re-deriving the
+    permutation from the sorted pairs.
 
     Callers must have validated the plans with :func:`plans_are_analytic`.
     """
@@ -147,6 +156,12 @@ def analytic_replay(
         completions.append((index, ready))
     # Fast packets overtake slow ones on mixed-path pipelines; present
     # completions in finish order exactly as the DES sink records them.
+    if index_latencies is not None:
+        # itemgetter/sub keep the whole pass in C — a Python per-packet
+        # callable here would cost more than the forensics budget allows
+        index_latencies.extend(
+            map(operator.sub, map(operator.itemgetter(1), completions), arrival_at)
+        )
     completions.sort(key=_finish_time)
     return arrival_at, completions
 

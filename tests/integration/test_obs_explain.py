@@ -1,0 +1,174 @@
+"""CLI acceptance for tail-latency forensics (``repro obs explain``).
+
+Round-trips real artifacts through the command line: a demo run writes
+``--forensics-out``, ``obs explain`` and ``obs report`` render it; a
+fig8-style cluster run with an injected failover must name the failover
+stall as the dominant tail component; and empty or truncated artifacts
+must fail with one clear message and exit code 2 — not a traceback.
+"""
+
+import json
+
+from repro.cli import main
+from repro.obs.forensics import COMPONENTS, load_forensics_jsonl
+
+
+class TestForensicsRoundTrip:
+    def run_demo(self, tmp_path, capsys):
+        forensics = tmp_path / "forensics.jsonl"
+        audit = tmp_path / "audit.jsonl"
+        windows = tmp_path / "windows.jsonl"
+        assert main([
+            "demo", "--flows", "10",
+            "--forensics-out", str(forensics),
+            "--audit-out", str(audit),
+            "--timeseries-out", str(windows),
+            "--window-packets", "32",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "forensics rows" in out
+        return forensics, audit, windows
+
+    def test_demo_emits_decomposed_artifact(self, tmp_path, capsys):
+        forensics, __, __ = self.run_demo(tmp_path, capsys)
+        data = load_forensics_jsonl(forensics)
+        assert data["summary"]["packets"] > 0
+        assert data["windows"] and data["worst"]
+        for record in data["worst"]:
+            # Components reproduce the latency after a JSON round trip.
+            total = ((record["service_ns"] + record["transfer_ns"])
+                     + record["stall_ns"]) + record["queue_ns"]
+            assert total == record["latency_ns"]
+
+    def test_obs_explain_renders(self, tmp_path, capsys):
+        forensics, audit, windows = self.run_demo(tmp_path, capsys)
+        assert main([
+            "obs", "explain", "--forensics", str(forensics),
+            "--audit", str(audit), "--windows", str(windows),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "repro obs explain" in out
+        assert "component attribution" in out
+        for name in COMPONENTS:
+            assert name in out
+        assert "worst" in out
+
+    def test_obs_report_gains_forensics_section(self, tmp_path, capsys):
+        forensics, __, __ = self.run_demo(tmp_path, capsys)
+        assert main(["obs", "report", "--forensics", str(forensics)]) == 0
+        out = capsys.readouterr().out
+        assert "latency forensics" in out
+        assert "component attribution" in out
+
+    def test_batch_forensics_round_trip(self, tmp_path, capsys):
+        forensics = tmp_path / "batch.jsonl"
+        assert main([
+            "batch", "--flows", "300", "--packets-per-flow", "4",
+            "--block", "64", "--forensics-out", str(forensics),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["obs", "explain", "--forensics", str(forensics)]) == 0
+        assert "component attribution" in capsys.readouterr().out
+
+
+class TestFailoverForensics:
+    def run_failover(self, tmp_path, capsys):
+        forensics = tmp_path / "forensics.jsonl"
+        audit = tmp_path / "audit.jsonl"
+        assert main([
+            "scale", "--replicas", "3", "--platforms", "bess",
+            "--flows", "30", "--checkpoint-every", "16", "--kill-at", "150",
+            "--forensics-out", str(forensics), "--audit-out", str(audit),
+        ]) == 0
+        capsys.readouterr()
+        return forensics, audit
+
+    def test_explain_names_stall_as_dominant_tail_component(
+        self, tmp_path, capsys
+    ):
+        forensics, audit = self.run_failover(tmp_path, capsys)
+        data = load_forensics_jsonl(forensics)
+        assert data["stalls"], "failover charged no stall records"
+        components = data["summary"]["components"]
+        assert components["stall"] == max(
+            components[name] for name in COMPONENTS
+        ), f"stall is not the dominant component: {components}"
+
+        assert main([
+            "obs", "explain", "--forensics", str(forensics),
+            "--audit", str(audit),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "stall charges" in out
+        assert "stall-dominant" in out
+        assert "cause failover" in out
+        assert "latency_regime_shift" in out
+
+    def test_regime_shift_precedes_failover_complete(self, tmp_path, capsys):
+        __, audit_path = self.run_failover(tmp_path, capsys)
+        events = [json.loads(line) for line in audit_path.read_text().splitlines()]
+        completes = [e["seq"] for e in events
+                     if e["kind"] == "ft_failover_complete"]
+        shifts = [e["seq"] for e in events
+                  if e["kind"] == "latency_regime_shift"
+                  and e.get("component") == "stall"]
+        assert completes and shifts
+        for seq in completes:
+            assert any(shift < seq for shift in shifts), (
+                f"ft_failover_complete seq={seq} has no preceding "
+                f"stall regime shift (shifts at {shifts})"
+            )
+
+    def test_charged_stall_raises_reported_p99(self, capsys, tmp_path):
+        args = ["scale", "--replicas", "2", "--platforms", "bess",
+                "--flows", "30", "--checkpoint-every", "16", "--kill-at", "150"]
+        assert main(args) == 0
+        charged = capsys.readouterr().out
+        assert main(args + ["--no-charge-recovery"]) == 0
+        uncharged = capsys.readouterr().out
+
+        def p99_of_two_replica_row(out):
+            for line in out.splitlines():
+                cells = line.split()
+                if cells[:2] == ["bess", "2"]:
+                    return float(cells[5])
+            raise AssertionError(f"no 2-replica row in:\n{out}")
+
+        # Charging maps the failover wall time (milliseconds) onto the
+        # buffered packets' simulated latency; without it the p99 stays
+        # at the microsecond queueing scale.
+        assert p99_of_two_replica_row(charged) > p99_of_two_replica_row(uncharged)
+
+
+class TestGracefulArtifactFailures:
+    def test_empty_artifact_exits_2_with_message(self, tmp_path, capsys):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert main(["obs", "report", "--audit", str(empty)]) == 2
+        err = capsys.readouterr().err
+        assert "empty" in err
+        assert "Traceback" not in err
+
+    def test_truncated_artifact_exits_2_with_line_number(self, tmp_path, capsys):
+        truncated = tmp_path / "trunc.jsonl"
+        truncated.write_text('{"kind": "ft_kill"}\n{"kind": "ft_re')
+        assert main(["obs", "report", "--audit", str(truncated)]) == 2
+        err = capsys.readouterr().err
+        assert ":2:" in err  # names the offending line
+        assert "invalid JSON" in err
+
+    def test_missing_artifact_exits_2(self, tmp_path, capsys):
+        missing = tmp_path / "nope.jsonl"
+        assert main(["obs", "watch", "--windows", str(missing)]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_explain_requires_forensics_artifact(self, capsys):
+        assert main(["obs", "explain"]) == 2
+        assert "--forensics" in capsys.readouterr().err
+
+    def test_explain_rejects_truncated_forensics(self, tmp_path, capsys):
+        truncated = tmp_path / "trunc.jsonl"
+        truncated.write_text('{"type": "summ')
+        assert main(["obs", "explain", "--forensics", str(truncated)]) == 2
+        err = capsys.readouterr().err
+        assert "bad forensics artifact" in err

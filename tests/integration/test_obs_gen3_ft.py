@@ -118,6 +118,14 @@ class TestDegradedBeforeDead:
         assert alerts, "no SLO burn alert was recorded"
         assert min(event["seq"] for event in alerts) < complete_seq
 
+        # Charging the recovery stall announces the latency regime
+        # shift before the failover is declared complete.
+        shifts = audit.events("latency_regime_shift")
+        assert shifts, "no latency_regime_shift was recorded"
+        stall_shifts = [e for e in shifts if e.get("component") == "stall"]
+        assert stall_shifts, "no stall-component regime shift"
+        assert min(event["seq"] for event in stall_shifts) < complete_seq
+
     def test_windows_closed_mid_run_and_recovery_is_loss_free(self):
         ctx = run_scenario()
         timeseries = ctx["timeseries"]
